@@ -1,0 +1,141 @@
+// Ablations for the design choices DESIGN.md §6 calls out:
+//   (a) constant folding in the SSA log — the log-size lever (§6.4);
+//   (b) the redo phase itself — ParallelEVM with redo disabled degenerates
+//       to OCC-plus-logging-overhead, quantifying what operation-level
+//       conflict resolution buys;
+//   (c) a redo effort budget — abort repairs that would re-execute more than
+//       K entries (a proposed engineering bound; shows the tail is short).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/redo.h"
+#include "src/core/ssa_builder.h"
+#include "src/exec/apply.h"
+
+int main() {
+  using namespace pevm;
+  WorkloadConfig config;
+  config.seed = 140000;
+  config.transactions_per_block = 200;
+  WorkloadGenerator gen(config);
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks = MakeBlocks(gen, 4);
+
+  // --- (a) Constant folding ablation: log sizes with folding on and off. ---
+  {
+    uint64_t folded = 0;
+    uint64_t unfolded = 0;
+    uint64_t instructions = 0;
+    WorldState state = genesis;
+    for (const Block& block : blocks) {
+      for (const Transaction& tx : block.transactions) {
+        {
+          StateView view(state);
+          SsaBuilder builder;
+          Receipt r = ApplyTransaction(view, block.context, tx, &builder);
+          folded += builder.TakeLog().size();
+          instructions += r.stats.instructions;
+        }
+        {
+          StateView view(state);
+          SsaBuilder::Options opts;
+          opts.fold_constants = false;
+          SsaBuilder builder(opts);
+          ApplyTransaction(view, block.context, tx, &builder);
+          unfolded += builder.TakeLog().size();
+          state.Apply(view.write_set());
+        }
+      }
+    }
+    std::printf("Ablation (a): constant folding in the SSA operation log\n");
+    std::printf("  with folding:    %8llu entries (%.1f%% of %llu instructions)\n",
+                static_cast<unsigned long long>(folded),
+                100.0 * static_cast<double>(folded) / static_cast<double>(instructions),
+                static_cast<unsigned long long>(instructions));
+    std::printf("  without folding: %8llu entries (%.1f%%) -> folding removes %.0f%% of "
+                "the log\n\n",
+                static_cast<unsigned long long>(unfolded),
+                100.0 * static_cast<double>(unfolded) / static_cast<double>(instructions),
+                100.0 * (1.0 - static_cast<double>(folded) / static_cast<double>(unfolded)));
+  }
+
+  // --- (b) Redo ablation: ParallelEVM vs OCC (ParallelEVM minus redo). ---
+  {
+    ExecOptions options;
+    options.threads = 16;
+    std::vector<AlgoResult> results = CompareAlgorithms(genesis, blocks, options);
+    double occ = results[2].speedup;
+    double pevm = results[4].speedup;
+    std::printf("Ablation (b): the redo phase itself\n");
+    std::printf("  OCC (= transaction-level abort & re-execute): %.2fx\n", occ);
+    std::printf("  ParallelEVM (operation-level redo):           %.2fx\n", pevm);
+    std::printf("  -> the redo phase contributes a %.2fx factor on this workload\n\n",
+                pevm / occ);
+  }
+
+  // --- (c) Redo effort budget: how large do repairs actually get? ---
+  {
+    WorldState state = genesis;
+    std::vector<size_t> repair_sizes;
+    for (const Block& block : blocks) {
+      std::vector<std::tuple<ReadSet, WriteSet, TxLog, bool>> specs;
+      for (const Transaction& tx : block.transactions) {
+        StateView view(state);
+        SsaBuilder builder;
+        Receipt r = ApplyTransaction(view, block.context, tx, &builder);
+        if (!r.valid) {
+          builder.MarkNotRedoable();
+        }
+        specs.emplace_back(view.read_set(), view.write_set(), builder.TakeLog(), r.valid);
+      }
+      for (size_t i = 0; i < specs.size(); ++i) {
+        auto& [reads, writes, log, valid] = specs[i];
+        ConflictMap conflicts;
+        for (const auto& [key, observed] : reads) {
+          U256 current = state.Get(key);
+          if (current != observed) {
+            conflicts.emplace(key, current);
+          }
+        }
+        if (conflicts.empty()) {
+          if (valid) {
+            state.Apply(writes);
+          }
+          continue;
+        }
+        RedoResult redo =
+            RunRedo(log, conflicts, [&](const StateKey& k) { return state.Get(k); });
+        if (redo.success) {
+          repair_sizes.push_back(redo.reexecuted);
+          state.Apply(redo.write_set);
+        } else {
+          StateView view(state);
+          Receipt r = ApplyTransaction(view, block.context, block.transactions[i]);
+          if (r.valid) {
+            state.Apply(view.write_set());
+          }
+        }
+      }
+    }
+    std::sort(repair_sizes.begin(), repair_sizes.end());
+    auto pct = [&](double p) {
+      return repair_sizes.empty()
+                 ? size_t{0}
+                 : repair_sizes[static_cast<size_t>(p * (repair_sizes.size() - 1))];
+    };
+    std::printf("Ablation (c): redo effort distribution over %zu repairs\n", repair_sizes.size());
+    std::printf("  p50=%zu entries, p90=%zu, p99=%zu, max=%zu\n", pct(0.5), pct(0.9), pct(0.99),
+                repair_sizes.empty() ? 0 : repair_sizes.back());
+    for (size_t budget : {8, 16, 32, 64}) {
+      size_t covered = 0;
+      for (size_t s : repair_sizes) {
+        covered += s <= budget ? 1 : 0;
+      }
+      std::printf("  a budget of %3zu entries would cover %.1f%% of repairs\n", budget,
+                  repair_sizes.empty() ? 0.0
+                                       : 100.0 * static_cast<double>(covered) /
+                                             static_cast<double>(repair_sizes.size()));
+    }
+  }
+  return 0;
+}

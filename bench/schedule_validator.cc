@@ -1,0 +1,83 @@
+// The §7 extension (the paper's future work): operation-level schedules.
+// The proposer runs ParallelEVM and embeds per-transaction plans
+// (clean / redo-with-keys / fallback) in the block; validators follow the
+// schedule, skipping read-set validation for clean transactions and SSA
+// logging for everything that will not redo.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/scheduled.h"
+
+int main() {
+  using namespace pevm;
+  WorkloadConfig config;
+  config.seed = 140000;
+  config.transactions_per_block = 200;
+  WorkloadGenerator gen(config);
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks = MakeBlocks(gen, 10);
+
+  ExecOptions options;
+  options.threads = 16;
+
+  uint64_t serial_total = 0;
+  uint64_t digest = 0;
+  {
+    SerialExecutor serial(options);
+    WorldState state = genesis;
+    for (const Block& b : blocks) {
+      serial_total += serial.Execute(b, state).makespan_ns;
+    }
+    digest = state.Digest();
+  }
+
+  // Proposer pass: produces schedules and the proposer's own timing.
+  std::vector<BlockSchedule> schedules;
+  uint64_t proposer_total = 0;
+  {
+    WorldState state = genesis;
+    for (const Block& b : blocks) {
+      ProposalResult proposal = ProposeBlock(b, state, options);
+      proposer_total += proposal.report.makespan_ns;
+      schedules.push_back(std::move(proposal.schedule));
+    }
+    if (state.Digest() != digest) {
+      std::fprintf(stderr, "FATAL: proposer diverged\n");
+      return 1;
+    }
+  }
+
+  // Validator passes: scheduled (trusting) and plain ParallelEVM.
+  uint64_t validator_total = 0;
+  {
+    WorldState state = genesis;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      validator_total += ExecuteWithSchedule(blocks[i], schedules[i], state, options).makespan_ns;
+    }
+    if (state.Digest() != digest) {
+      std::fprintf(stderr, "FATAL: validator diverged\n");
+      return 1;
+    }
+  }
+  uint64_t plain_total = 0;
+  {
+    ParallelEvmExecutor pevm(options);
+    WorldState state = genesis;
+    for (const Block& b : blocks) {
+      plain_total += pevm.Execute(b, state).makespan_ns;
+    }
+  }
+
+  std::printf("Section 7 extension: operation-level schedules (proposer/validator split)\n\n");
+  std::printf("%-28s %s\n", "configuration", "speedup vs serial");
+  std::printf("%-28s %5.2fx\n", "proposer (makes schedule)",
+              static_cast<double>(serial_total) / static_cast<double>(proposer_total));
+  std::printf("%-28s %5.2fx\n", "validator (plain parallelevm)",
+              static_cast<double>(serial_total) / static_cast<double>(plain_total));
+  std::printf("%-28s %5.2fx\n", "validator (with schedule)",
+              static_cast<double>(serial_total) / static_cast<double>(validator_total));
+  std::printf("\nThe scheduled validator skips read-set validation for clean transactions\n"
+              "and generates SSA logs only for transactions the schedule marks for redo,\n"
+              "giving validators a consistent acceleration (paper section 7).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces Table 2: speedups with state prefetching (warm-cache two-run
+// methodology, §6.3). All speedups are against the *cold* serial run.
+// Paper: Prefetch 2.89x | 2PL+ 2.23x | OCC+ 3.25x | Block-STM+ 5.52x |
+//        ParallelEVM+ 7.11x.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace pevm;
+  WorkloadConfig config;
+  config.seed = 140000;
+  config.transactions_per_block = 200;
+  WorkloadGenerator gen(config);
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks = MakeBlocks(gen, 10);
+
+  ExecOptions cold;
+  cold.threads = 16;
+  ExecOptions warm = cold;
+  warm.prefetch = true;
+
+  // Cold serial baseline.
+  uint64_t serial_cold = 0;
+  uint64_t digest = 0;
+  {
+    SerialExecutor serial(cold);
+    WorldState state = genesis;
+    for (const Block& b : blocks) {
+      serial_cold += serial.Execute(b, state).makespan_ns;
+    }
+    digest = state.Digest();
+  }
+
+  std::vector<std::unique_ptr<Executor>> algos;
+  algos.push_back(std::make_unique<SerialExecutor>(warm));  // "Prefetch" row.
+  algos.push_back(std::make_unique<TwoPhaseLockingExecutor>(warm));
+  algos.push_back(std::make_unique<OccExecutor>(warm));
+  algos.push_back(std::make_unique<BlockStmExecutor>(warm));
+  algos.push_back(std::make_unique<ParallelEvmExecutor>(warm));
+
+  std::printf("Table 2: speedups with state prefetching (vs cold serial)\n\n");
+  std::printf("%-16s %-10s %s\n", "algorithm", "speedup", "paper");
+  const char* names[] = {"prefetch", "2pl+", "occ+", "block-stm+", "parallelevm+"};
+  const char* paper[] = {"2.89x", "2.23x", "3.25x", "5.52x", "7.11x"};
+  for (size_t i = 0; i < algos.size(); ++i) {
+    WorldState state = genesis;
+    uint64_t total = 0;
+    for (const Block& b : blocks) {
+      total += algos[i]->Execute(b, state).makespan_ns;
+    }
+    if (state.Digest() != digest) {
+      std::fprintf(stderr, "FATAL: %s diverged\n", names[i]);
+      return 1;
+    }
+    std::printf("%-16s %5.2fx     %s\n", names[i],
+                static_cast<double>(serial_cold) / static_cast<double>(total), paper[i]);
+  }
+  return 0;
+}

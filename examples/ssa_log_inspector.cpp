@@ -1,0 +1,88 @@
+// Walks through the paper's running example (§3.2 / Figure 5): two
+// transferFrom transactions conflicting on balances[A], the SSA operation
+// log generated for tx2, and the redo phase repairing the conflict.
+//
+//   $ ./build/examples/ssa_log_inspector
+#include <cstdio>
+
+#include "src/core/oplog_printer.h"
+#include "src/core/redo.h"
+#include "src/core/ssa_builder.h"
+#include "src/exec/apply.h"
+#include "src/state/state_view.h"
+#include "src/workload/contracts.h"
+
+using namespace pevm;
+
+int main() {
+  const Address token = Address::FromId(0x70CE);
+  const Address a = Address::FromId(0xA);   // Owner "A".
+  const Address b = Address::FromId(0xB);   // Recipient of tx1.
+  const Address c = Address::FromId(0xC);   // Recipient of tx2.
+  const Address d = Address::FromId(0xD);   // Sender of tx1.
+  const Address e = Address::FromId(0xE);   // Sender of tx2.
+
+  WorldState genesis;
+  genesis.SetCode(token, BuildErc20Code());
+  genesis.SetStorage(token, Erc20BalanceSlot(a), U256(100));
+  genesis.SetStorage(token, Erc20AllowanceSlot(a, d), U256(1000));
+  genesis.SetStorage(token, Erc20AllowanceSlot(a, e), U256(1000));
+  genesis.SetBalance(d, U256::Exp(U256(10), U256(18)));
+  genesis.SetBalance(e, U256::Exp(U256(10), U256(18)));
+
+  auto transfer_from = [&](const Address& sender, const Address& to, uint64_t amount) {
+    Transaction tx;
+    tx.from = sender;
+    tx.to = token;
+    tx.data = Erc20TransferFromCall(a, to, U256(amount));
+    tx.gas_limit = 200'000;
+    tx.gas_price = U256(1);
+    return tx;
+  };
+  Transaction tx1 = transfer_from(d, b, 10);  // transferFrom_D(A, B, 10)
+  Transaction tx2 = transfer_from(e, c, 20);  // transferFrom_E(A, C, 20)
+
+  BlockContext block;
+  std::printf("== read phase: speculative execution of tx1 and tx2 against the same state ==\n");
+  StateView view1(genesis);
+  SsaBuilder builder1;
+  ApplyTransaction(view1, block, tx1, &builder1);
+  StateView view2(genesis);
+  SsaBuilder builder2;
+  Receipt r2 = ApplyTransaction(view2, block, tx2, &builder2);
+  TxLog log2 = builder2.TakeLog();
+  std::printf("tx2 executed speculatively: %s, gas %lld\n\n", EvmStatusName(r2.status),
+              static_cast<long long>(r2.gas_used));
+
+  std::printf("== SSA operation log of tx2 (cf. paper Figure 5) ==\n%s\n",
+              FormatOpLog(log2).c_str());
+
+  std::printf("== validation phase: commit tx1, then validate tx2 ==\n");
+  WorldState state = genesis;
+  state.Apply(view1.write_set());
+  ConflictMap conflicts;
+  for (const auto& [key, observed] : view2.read_set()) {
+    U256 current = state.Get(key);
+    if (current != observed) {
+      conflicts.emplace(key, current);
+      std::printf("conflict: %s observed %s, committed %s\n", key.ToString().c_str(),
+                  observed.ToHexString().c_str(), current.ToHexString().c_str());
+    }
+  }
+
+  std::printf("\n== redo phase: repair the conflicting operations only ==\n");
+  RedoResult redo = RunRedo(log2, conflicts, [&](const StateKey& k) { return state.Get(k); });
+  std::printf("redo %s: visited %zu DUG nodes, re-executed %zu of %zu log entries\n",
+              redo.success ? "succeeded" : "failed", redo.dfs_visited, redo.reexecuted,
+              log2.size());
+  if (!redo.success) {
+    return 1;
+  }
+  state.Apply(redo.write_set);
+
+  std::printf("\nfinal balances[A]=%s balances[B]=%s balances[C]=%s (expected 70/10/20)\n",
+              state.GetStorage(token, Erc20BalanceSlot(a)).ToString().c_str(),
+              state.GetStorage(token, Erc20BalanceSlot(b)).ToString().c_str(),
+              state.GetStorage(token, Erc20BalanceSlot(c)).ToString().c_str());
+  return 0;
+}

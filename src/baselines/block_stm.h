@@ -1,0 +1,29 @@
+// Block-STM (Gelashvili et al., PPoPP '23), the strongest transaction-level
+// baseline the paper compares against: optimistic execution over a
+// multi-version memory with ESTIMATE markers, a collaborative scheduler
+// interleaving execution and validation tasks across workers, incarnation
+// counters, and dependency-based blocking. Executions and validations are
+// performed for real (against the actual multi-version state); worker timing
+// is a deterministic discrete-event simulation on virtual threads
+// (DESIGN.md §3.2).
+#ifndef SRC_BASELINES_BLOCK_STM_H_
+#define SRC_BASELINES_BLOCK_STM_H_
+
+#include "src/exec/executor.h"
+
+namespace pevm {
+
+class BlockStmExecutor final : public Executor {
+ public:
+  explicit BlockStmExecutor(const ExecOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "block-stm"; }
+  BlockReport Execute(const Block& block, WorldState& state) override;
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_BASELINES_BLOCK_STM_H_

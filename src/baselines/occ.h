@@ -1,0 +1,26 @@
+// Optimistic concurrency control adapted to blockchains (paper §2.2):
+// speculative parallel execution, then in-order validation; a failed
+// validation aborts and re-executes the whole transaction on the commit
+// path. Identical pipeline to ParallelEVM minus the SSA log and redo phase —
+// the comparison the paper's Table 1 makes.
+#ifndef SRC_BASELINES_OCC_H_
+#define SRC_BASELINES_OCC_H_
+
+#include "src/exec/executor.h"
+
+namespace pevm {
+
+class OccExecutor final : public Executor {
+ public:
+  explicit OccExecutor(const ExecOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "occ"; }
+  BlockReport Execute(const Block& block, WorldState& state) override;
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_BASELINES_OCC_H_

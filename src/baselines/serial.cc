@@ -1,0 +1,34 @@
+#include "src/baselines/serial.h"
+
+#include "src/exec/apply.h"
+#include "src/state/state_view.h"
+
+namespace pevm {
+
+BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
+  CostModel cost(options_.cost);
+  StateCache cache(options_.prefetch);
+  BlockReport report;
+  report.receipts.reserve(block.transactions.size());
+  uint64_t t = 0;
+  U256 fees;
+  for (const Transaction& tx : block.transactions) {
+    StateView view(state);
+    Receipt receipt = ApplyTransaction(view, block.context, tx);
+    uint64_t cold = cache.Touch(view.read_set());
+    uint64_t warm = TotalReadOps(receipt.stats) - std::min(TotalReadOps(receipt.stats), cold);
+    t += cost.ExecutionCost(receipt.stats, cold, warm, /*with_ssa=*/false);
+    report.instructions += receipt.stats.instructions;
+    if (receipt.valid) {
+      t += cost.CommitCost(view.write_set().size());
+      state.Apply(view.write_set());
+      fees = fees + receipt.fee;
+    }
+    report.receipts.push_back(std::move(receipt));
+  }
+  CreditCoinbase(state, block.context.coinbase, fees);
+  report.makespan_ns = t;
+  return report;
+}
+
+}  // namespace pevm

@@ -1,0 +1,24 @@
+// The baseline: Geth-style in-order sequential execution. Every other
+// executor's post-state must match this one's, and speedups are measured
+// against its makespan.
+#ifndef SRC_BASELINES_SERIAL_H_
+#define SRC_BASELINES_SERIAL_H_
+
+#include "src/exec/executor.h"
+
+namespace pevm {
+
+class SerialExecutor final : public Executor {
+ public:
+  explicit SerialExecutor(const ExecOptions& options) : options_(options) {}
+
+  std::string_view name() const override { return "serial"; }
+  BlockReport Execute(const Block& block, WorldState& state) override;
+
+ private:
+  ExecOptions options_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_BASELINES_SERIAL_H_

@@ -1,0 +1,34 @@
+// The ParallelEVM block executor (paper §5.1): read phase (speculative
+// parallel execution with SSA operation-log generation), validation phase
+// (in-order read-set checks against committed state), redo phase
+// (operation-level conflict repair), write phase (commit, or full
+// re-execution when the redo aborts).
+#ifndef SRC_CORE_PARALLEL_EVM_H_
+#define SRC_CORE_PARALLEL_EVM_H_
+
+#include "src/exec/executor.h"
+
+namespace pevm {
+
+class ParallelEvmExecutor final : public Executor {
+ public:
+  // `pre_execution` models the Forerunner-style optimization (§6.3): SSA logs
+  // are generated during the transaction-dissemination window, so the read
+  // phase is off the critical path and transactions enter validation
+  // directly.
+  explicit ParallelEvmExecutor(const ExecOptions& options, bool pre_execution = false)
+      : options_(options), pre_execution_(pre_execution) {}
+
+  std::string_view name() const override {
+    return pre_execution_ ? "parallelevm+preexec" : "parallelevm";
+  }
+  BlockReport Execute(const Block& block, WorldState& state) override;
+
+ private:
+  ExecOptions options_;
+  bool pre_execution_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_CORE_PARALLEL_EVM_H_

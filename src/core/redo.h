@@ -1,0 +1,42 @@
+// The redo phase (paper §5.3, Algorithm 1): given the conflicting storage
+// keys and their freshly committed values, patch the type-I read sources,
+// DFS the definition-use graph to find every dependent operation, re-execute
+// them in LSN order via the pure evaluator, and verify every constraint
+// guard. On success the transaction's write set is rebuilt from the log's
+// latest_writes table; on any guard failure the caller falls back to full
+// re-execution (the paper's abort-and-restart write phase).
+#ifndef SRC_CORE_REDO_H_
+#define SRC_CORE_REDO_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/core/oplog.h"
+#include "src/state/world_state.h"
+
+namespace pevm {
+
+// key -> freshly committed value for every stale read-set entry.
+using ConflictMap = std::unordered_map<StateKey, U256, StateKeyHash>;
+
+struct RedoResult {
+  bool success = false;
+  size_t dfs_visited = 0;  // DUG nodes reached from the conflict sources.
+  size_t reexecuted = 0;   // Entries actually re-executed (excl. sources).
+  // Valid only when success: the repaired write set.
+  WriteSet write_set;
+};
+
+// `committed` resolves the current committed value of a key (used for SSTORE
+// dynamic-gas recomputation); typically bound to the post-predecessor world
+// state.
+RedoResult RunRedo(TxLog& log, const ConflictMap& conflicts,
+                   const std::function<U256(const StateKey&)>& committed);
+
+// Rebuilds a write set from the log's latest_writes table (also used to
+// cross-check the builder against StateView in tests).
+WriteSet WriteSetFromLog(const TxLog& log);
+
+}  // namespace pevm
+
+#endif  // SRC_CORE_REDO_H_

@@ -1,0 +1,238 @@
+#include "src/core/scheduled.h"
+
+#include <vector>
+
+#include "src/core/redo.h"
+#include "src/core/ssa_builder.h"
+#include "src/exec/apply.h"
+#include "src/state/state_view.h"
+
+namespace pevm {
+namespace {
+
+struct Speculation {
+  Receipt receipt;
+  ReadSet reads;
+  WriteSet writes;
+  TxLog log;
+};
+
+Speculation Speculate(const WorldState& state, const BlockContext& context,
+                      const Transaction& tx, bool with_log) {
+  Speculation spec;
+  StateView view(state);
+  if (with_log) {
+    SsaBuilder builder;
+    spec.receipt = ApplyTransaction(view, context, tx, &builder);
+    if (!spec.receipt.valid) {
+      builder.MarkNotRedoable();
+    }
+    spec.log = builder.TakeLog();
+  } else {
+    spec.receipt = ApplyTransaction(view, context, tx);
+  }
+  spec.reads = view.read_set();
+  spec.writes = view.take_write_set();
+  return spec;
+}
+
+// Serial commit-path re-execution shared by both sides.
+uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
+                       const CostModel& cost, U256& fees, BlockReport& report) {
+  StateView view(state);
+  Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
+  uint64_t total_reads = TotalReadOps(receipt.stats);
+  uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
+  uint64_t t = cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
+  report.instructions += receipt.stats.instructions;
+  if (receipt.valid) {
+    t += cost.CommitCost(view.write_set().size());
+    state.Apply(view.write_set());
+    fees = fees + receipt.fee;
+  }
+  report.receipts.push_back(std::move(receipt));
+  return t;
+}
+
+}  // namespace
+
+ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOptions& options) {
+  CostModel cost(options.cost);
+  StateCache cache(options.prefetch);
+  ProposalResult result;
+  BlockReport& report = result.report;
+  size_t n = block.transactions.size();
+  result.schedule.transactions.resize(n);
+
+  std::vector<Speculation> specs(n);
+  std::vector<uint64_t> durations(n);
+  for (size_t i = 0; i < n; ++i) {
+    specs[i] = Speculate(state, block.context, block.transactions[i], /*with_log=*/true);
+    uint64_t total_reads = TotalReadOps(specs[i].receipt.stats);
+    uint64_t cold = std::min(cache.Touch(specs[i].reads), total_reads);
+    durations[i] =
+        cost.ExecutionCost(specs[i].receipt.stats, cold, total_reads - cold, /*with_ssa=*/true);
+    report.oplog_entries += specs[i].log.size();
+    report.instructions += specs[i].receipt.stats.instructions;
+  }
+  ScheduleResult sched = ListSchedule(durations, options.threads, options.cost.dispatch_ns);
+
+  uint64_t t = 0;
+  U256 fees;
+  auto committed = [&state](const StateKey& key) { return state.Get(key); };
+  for (size_t i = 0; i < n; ++i) {
+    Speculation& spec = specs[i];
+    TxSchedule& plan = result.schedule.transactions[i];
+    t = std::max(t, sched.finish[i]);
+    t += cost.ValidationCost(spec.reads.size());
+
+    ConflictMap conflicts;
+    for (const auto& [key, observed] : spec.reads) {
+      U256 current = state.Get(key);
+      if (current != observed) {
+        conflicts.emplace(key, current);
+      }
+    }
+    if (conflicts.empty()) {
+      plan.plan = TxSchedule::Plan::kClean;
+      if (spec.receipt.valid) {
+        t += cost.CommitCost(spec.writes.size());
+        state.Apply(spec.writes);
+        fees = fees + spec.receipt.fee;
+      }
+      report.receipts.push_back(std::move(spec.receipt));
+      continue;
+    }
+    ++report.conflicts;
+    RedoResult redo = RunRedo(spec.log, conflicts, committed);
+    if (redo.success) {
+      plan.plan = TxSchedule::Plan::kRedo;
+      plan.conflict_keys.reserve(conflicts.size());
+      for (const auto& [key, value] : conflicts) {
+        plan.conflict_keys.push_back(key);
+      }
+      ++report.redo_success;
+      report.redo_entries_reexecuted += redo.reexecuted;
+      uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
+      report.redo_ns += redo_ns;
+      t += redo_ns + cost.CommitCost(redo.write_set.size());
+      state.Apply(redo.write_set);
+      fees = fees + spec.receipt.fee;
+      report.receipts.push_back(std::move(spec.receipt));
+      continue;
+    }
+    plan.plan = TxSchedule::Plan::kFallback;
+    if (spec.log.redoable) {
+      ++report.redo_fail;
+    }
+    ++report.full_reexecutions;
+    t += FullReexecute(block, i, state, cache, cost, fees, report);
+  }
+  CreditCoinbase(state, block.context.coinbase, fees);
+  report.makespan_ns = t + options.cost.per_block_ns;
+  return result;
+}
+
+BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedule,
+                                WorldState& state, const ExecOptions& options, bool paranoid) {
+  CostModel cost(options.cost);
+  StateCache cache(options.prefetch);
+  BlockReport report;
+  size_t n = block.transactions.size();
+
+  // Read phase: SSA logs are generated only for transactions the schedule
+  // marks kRedo (a validator-side saving the plain executor cannot make);
+  // kFallback transactions skip speculation entirely.
+  std::vector<Speculation> specs(n);
+  std::vector<uint64_t> durations(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    TxSchedule::Plan plan = i < schedule.transactions.size()
+                                ? schedule.transactions[i].plan
+                                : TxSchedule::Plan::kFallback;
+    if (plan == TxSchedule::Plan::kFallback && !paranoid) {
+      continue;
+    }
+    bool with_log = plan == TxSchedule::Plan::kRedo;
+    specs[i] = Speculate(state, block.context, block.transactions[i], with_log);
+    uint64_t total_reads = TotalReadOps(specs[i].receipt.stats);
+    uint64_t cold = std::min(cache.Touch(specs[i].reads), total_reads);
+    durations[i] =
+        cost.ExecutionCost(specs[i].receipt.stats, cold, total_reads - cold, with_log);
+    report.oplog_entries += specs[i].log.size();
+    report.instructions += specs[i].receipt.stats.instructions;
+  }
+  ScheduleResult sched = ListSchedule(durations, options.threads, options.cost.dispatch_ns);
+
+  uint64_t t = 0;
+  U256 fees;
+  auto committed = [&state](const StateKey& key) { return state.Get(key); };
+  for (size_t i = 0; i < n; ++i) {
+    TxSchedule::Plan plan = i < schedule.transactions.size()
+                                ? schedule.transactions[i].plan
+                                : TxSchedule::Plan::kFallback;
+    Speculation& spec = specs[i];
+    t = std::max(t, sched.finish[i]);
+
+    if (paranoid && plan != TxSchedule::Plan::kFallback) {
+      // Verify the schedule's claim instead of trusting it.
+      ConflictMap conflicts;
+      for (const auto& [key, observed] : spec.reads) {
+        U256 current = state.Get(key);
+        if (current != observed) {
+          conflicts.emplace(key, current);
+        }
+      }
+      bool claim_clean = plan == TxSchedule::Plan::kClean;
+      if (claim_clean != conflicts.empty()) {
+        ++report.conflicts;  // Schedule deviation: repair serially.
+        t += FullReexecute(block, i, state, cache, cost, fees, report);
+        continue;
+      }
+    }
+
+    switch (plan) {
+      case TxSchedule::Plan::kClean: {
+        if (spec.receipt.valid) {
+          t += cost.CommitCost(spec.writes.size());
+          state.Apply(spec.writes);
+          fees = fees + spec.receipt.fee;
+        }
+        report.receipts.push_back(std::move(spec.receipt));
+        break;
+      }
+      case TxSchedule::Plan::kRedo: {
+        // Patch exactly the scheduled keys — no read-set scan needed.
+        ConflictMap conflicts;
+        for (const StateKey& key : schedule.transactions[i].conflict_keys) {
+          conflicts.emplace(key, state.Get(key));
+        }
+        RedoResult redo = RunRedo(spec.log, conflicts, committed);
+        if (!redo.success) {
+          // Deterministic proposers never hit this; repair serially anyway.
+          ++report.full_reexecutions;
+          t += FullReexecute(block, i, state, cache, cost, fees, report);
+          break;
+        }
+        ++report.redo_success;
+        report.redo_entries_reexecuted += redo.reexecuted;
+        uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
+        report.redo_ns += redo_ns;
+        t += redo_ns + cost.CommitCost(redo.write_set.size());
+        state.Apply(redo.write_set);
+        fees = fees + spec.receipt.fee;
+        report.receipts.push_back(std::move(spec.receipt));
+        break;
+      }
+      case TxSchedule::Plan::kFallback: {
+        ++report.full_reexecutions;
+        t += FullReexecute(block, i, state, cache, cost, fees, report);
+        break;
+      }
+    }
+  }
+  CreditCoinbase(state, block.context.coinbase, fees);
+  report.makespan_ns = t + options.cost.per_block_ns;
+  return report;
+}
+
+}  // namespace pevm

@@ -1,0 +1,55 @@
+// The paper's §7 proposed extension (its stated future work): the block
+// proposer runs ParallelEVM, records how each transaction resolved — clean,
+// repaired by redo (and on which keys), or fallback re-execution — and ships
+// that *operation-level schedule* in the block. Validators then execute the
+// block following the schedule: clean transactions commit without read-set
+// validation, redo transactions patch exactly the listed keys, and fallback
+// transactions go straight to serial re-execution. A lying or stale schedule
+// is caught the same way any bad block is: the resulting state root differs
+// (tests exercise this via the paranoid mode).
+#ifndef SRC_CORE_SCHEDULED_H_
+#define SRC_CORE_SCHEDULED_H_
+
+#include <vector>
+
+#include "src/exec/executor.h"
+#include "src/state/state_key.h"
+
+namespace pevm {
+
+struct TxSchedule {
+  enum class Plan : uint8_t {
+    kClean,     // Committed straight from speculation.
+    kRedo,      // Conflicted; repaired at operation level.
+    kFallback,  // Redo not possible; re-execute serially.
+  };
+  Plan plan = Plan::kClean;
+  // For kRedo: the stale keys whose committed values must be patched.
+  std::vector<StateKey> conflict_keys;
+};
+
+struct BlockSchedule {
+  std::vector<TxSchedule> transactions;
+};
+
+struct ProposalResult {
+  BlockReport report;
+  BlockSchedule schedule;
+};
+
+// Proposer side: executes the block with ParallelEVM semantics (committing
+// into `state`) and emits the schedule a validator needs.
+ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOptions& options);
+
+// Validator side: executes the block following `schedule`. When `paranoid`
+// is set, every scheduled decision is re-verified against the actual
+// validation outcome and deviations are repaired (and counted in
+// BlockReport::conflicts); production validators instead rely on the block's
+// state root to reject bad schedules.
+BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedule,
+                                WorldState& state, const ExecOptions& options,
+                                bool paranoid = false);
+
+}  // namespace pevm
+
+#endif  // SRC_CORE_SCHEDULED_H_

@@ -1,0 +1,94 @@
+// Common EVM execution types: statuses, call messages, block/tx contexts.
+#ifndef SRC_EVM_EVM_TYPES_H_
+#define SRC_EVM_EVM_TYPES_H_
+
+#include <cstdint>
+
+#include "src/evm/opcode.h"
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+enum class EvmStatus : uint8_t {
+  kSuccess = 0,
+  kRevert,              // Explicit REVERT: state rolled back, remaining gas returned.
+  kOutOfGas,            // Exceptional halts: all frame gas consumed.
+  kInvalidInstruction,
+  kStackUnderflow,
+  kStackOverflow,
+  kBadJumpDestination,
+  kStaticModeViolation,
+  kCallDepthExceeded,
+  kInsufficientBalance,  // Value transfer lacked funds (call returns 0).
+  kDependencyAbort,      // Host asked to stop (Block-STM read of an ESTIMATE).
+};
+
+constexpr bool IsExceptionalHalt(EvmStatus s) {
+  return s != EvmStatus::kSuccess && s != EvmStatus::kRevert &&
+         s != EvmStatus::kDependencyAbort;
+}
+
+const char* EvmStatusName(EvmStatus s);
+
+struct EvmResult {
+  EvmStatus status = EvmStatus::kSuccess;
+  int64_t gas_left = 0;
+  Bytes output;  // RETURN or REVERT payload.
+};
+
+struct BlockContext {
+  U256 number;
+  U256 timestamp;
+  U256 gas_limit{30'000'000};
+  U256 base_fee;
+  U256 prevrandao;
+  U256 chain_id{1};
+  Address coinbase;
+};
+
+struct TxContext {
+  Address origin;
+  U256 gas_price;
+};
+
+// One message-call frame's parameters.
+struct Message {
+  Opcode call_kind = Opcode::kCall;  // kCall / kDelegatecall / kStaticcall.
+  Address code_address;              // Whose code runs.
+  Address storage_address;           // Whose storage/balance context applies.
+  Address caller;
+  U256 value;        // Apparent value (CALLVALUE); transfers only for kCall.
+  Bytes data;        // Calldata.
+  int64_t gas = 0;   // Gas available to this frame.
+  bool is_static = false;
+  int depth = 0;
+};
+
+// Counters the cost model consumes to convert an execution into virtual time
+// (see sim::CostModel). Gas alone is a poor proxy because storage dominates
+// real execution time, so storage operations are broken out.
+struct ExecStats {
+  uint64_t instructions = 0;  // EVM instructions executed (all frames).
+  uint64_t gas_used = 0;      // Filled by ApplyTransaction.
+  uint64_t sloads = 0;        // SLOAD + BALANCE-style committed reads.
+  uint64_t sstores = 0;
+  uint64_t sstore_gas = 0;    // Total dynamic gas charged by SSTOREs.
+  uint64_t sha3_words = 0;
+  uint64_t calls = 0;
+
+  ExecStats& operator+=(const ExecStats& o) {
+    instructions += o.instructions;
+    gas_used += o.gas_used;
+    sloads += o.sloads;
+    sstores += o.sstores;
+    sstore_gas += o.sstore_gas;
+    sha3_words += o.sha3_words;
+    calls += o.calls;
+    return *this;
+  }
+};
+
+}  // namespace pevm
+
+#endif  // SRC_EVM_EVM_TYPES_H_

@@ -1,0 +1,59 @@
+// The interpreter's window onto world state. StateViewHost adapts the
+// per-transaction overlay; Block-STM supplies a multi-version host whose
+// reads may request a dependency abort.
+#ifndef SRC_EVM_HOST_H_
+#define SRC_EVM_HOST_H_
+
+#include "src/state/state_view.h"
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  virtual U256 GetStorage(const Address& a, const U256& slot) = 0;
+  virtual void SetStorage(const Address& a, const U256& slot, const U256& v) = 0;
+  virtual U256 GetBalance(const Address& a) = 0;
+  virtual void SetBalance(const Address& a, const U256& v) = 0;
+  virtual uint64_t GetNonce(const Address& a) = 0;
+  virtual void SetNonce(const Address& a, uint64_t n) = 0;
+  virtual const Bytes* GetCode(const Address& a) = 0;
+
+  // Overlay snapshots for inner-call revert.
+  virtual size_t Snapshot() = 0;
+  virtual void RevertToSnapshot(size_t snapshot) = 0;
+
+  // Polled by the interpreter after every state read; true aborts the
+  // execution with EvmStatus::kDependencyAbort (Block-STM ESTIMATE reads).
+  virtual bool ShouldAbortExecution() const { return false; }
+};
+
+class StateViewHost final : public Host {
+ public:
+  explicit StateViewHost(StateView& view) : view_(&view) {}
+
+  U256 GetStorage(const Address& a, const U256& slot) override {
+    return view_->GetStorage(a, slot);
+  }
+  void SetStorage(const Address& a, const U256& slot, const U256& v) override {
+    view_->SetStorage(a, slot, v);
+  }
+  U256 GetBalance(const Address& a) override { return view_->GetBalance(a); }
+  void SetBalance(const Address& a, const U256& v) override { view_->SetBalance(a, v); }
+  uint64_t GetNonce(const Address& a) override { return view_->GetNonce(a); }
+  void SetNonce(const Address& a, uint64_t n) override { view_->SetNonce(a, n); }
+  const Bytes* GetCode(const Address& a) override { return view_->GetCode(a); }
+  size_t Snapshot() override { return view_->Snapshot(); }
+  void RevertToSnapshot(size_t snapshot) override { view_->RevertToSnapshot(snapshot); }
+  bool ShouldAbortExecution() const override { return view_->base_aborted(); }
+
+ private:
+  StateView* view_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_EVM_HOST_H_

@@ -1,0 +1,100 @@
+#include "src/exec/apply.h"
+
+#include "src/evm/host.h"
+#include "src/evm/interpreter.h"
+
+namespace pevm {
+
+int64_t IntrinsicGas(const Transaction& tx) {
+  int64_t gas = kTxBaseGas;
+  for (uint8_t b : tx.data) {
+    gas += (b == 0) ? kTxDataZeroGas : kTxDataNonZeroGas;
+  }
+  return gas;
+}
+
+Receipt ApplyTransaction(StateView& view, const BlockContext& block, const Transaction& tx,
+                         Tracer* tracer) {
+  Receipt receipt;
+
+  // 1. Nonce check. The observed nonce is recorded in the read set either
+  // way, so a speculative mismatch is caught by validation and retried.
+  uint64_t nonce = view.GetNonce(tx.from);
+  if (tracer != nullptr) {
+    tracer->OnTxNonceCheck(tx.from, nonce, tx.nonce);
+  }
+  if (nonce != tx.nonce) {
+    return receipt;  // invalid.
+  }
+
+  // 2. Intrinsic gas.
+  int64_t intrinsic = IntrinsicGas(tx);
+  if (intrinsic > tx.gas_limit) {
+    return receipt;  // invalid.
+  }
+
+  // 3. Upfront cost: the sender must cover gas_limit * price + value.
+  U256 gas_prepay = U256(static_cast<uint64_t>(tx.gas_limit)) * tx.gas_price;
+  U256 upfront = gas_prepay + tx.value;
+  U256 sender_balance = view.GetBalance(tx.from);
+  if (tracer != nullptr) {
+    tracer->OnTxDebit(tx.from, sender_balance, gas_prepay, upfront);
+  }
+  if (sender_balance < upfront) {
+    return receipt;  // invalid.
+  }
+  view.SetBalance(tx.from, sender_balance - gas_prepay);
+  view.SetNonce(tx.from, nonce + 1);
+
+  receipt.valid = true;
+
+  // 4. Value transfer + execution under a snapshot so revert undoes both.
+  size_t snapshot = view.Snapshot();
+  if (!tx.value.IsZero()) {
+    U256 from_before = view.GetBalance(tx.from);
+    U256 to_before = view.GetBalance(tx.to);
+    // Upfront check covered value, so this cannot underflow.
+    view.SetBalance(tx.from, from_before - tx.value);
+    view.SetBalance(tx.to, to_before + tx.value);
+    if (tracer != nullptr) {
+      tracer->OnValueTransfer(tx.from, from_before, tx.to, to_before, tx.value);
+    }
+  }
+
+  TxContext tx_ctx{tx.from, tx.gas_price};
+  StateViewHost host(view);
+  Interpreter interp(host, block, tx_ctx, tracer);
+  Message msg;
+  msg.call_kind = Opcode::kCall;
+  msg.code_address = tx.to;
+  msg.storage_address = tx.to;
+  msg.caller = tx.from;
+  msg.value = tx.value;
+  msg.data = tx.data;
+  msg.gas = tx.gas_limit - intrinsic;
+  EvmResult result = interp.Execute(msg);
+
+  if (result.status != EvmStatus::kSuccess) {
+    view.RevertToSnapshot(snapshot);
+  }
+  receipt.status = result.status;
+  receipt.output = std::move(result.output);
+  receipt.stats = interp.stats();
+
+  // 5. Gas accounting: refund the unused prepayment, accumulate the fee.
+  int64_t gas_left = result.status == EvmStatus::kDependencyAbort ? 0 : result.gas_left;
+  receipt.gas_used = tx.gas_limit - gas_left;
+  receipt.stats.gas_used = static_cast<uint64_t>(receipt.gas_used);
+  U256 refund = U256(static_cast<uint64_t>(gas_left)) * tx.gas_price;
+  if (!refund.IsZero()) {
+    U256 before = view.GetBalance(tx.from);
+    view.SetBalance(tx.from, before + refund);
+    if (tracer != nullptr) {
+      tracer->OnTxCredit(tx.from, before, refund);
+    }
+  }
+  receipt.fee = U256(static_cast<uint64_t>(receipt.gas_used)) * tx.gas_price;
+  return receipt;
+}
+
+}  // namespace pevm

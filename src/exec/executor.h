@@ -1,0 +1,93 @@
+// The common block-executor interface every concurrency-control algorithm
+// implements, plus the shared virtual-time reporting types.
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "src/exec/types.h"
+#include "src/sim/cost_model.h"
+#include "src/state/world_state.h"
+
+namespace pevm {
+
+struct ExecOptions {
+  int threads = 16;  // Virtual worker threads (the paper's machine: 8c/16t).
+  CostConfig cost;
+  // Table 2 methodology: a prior prefetching run warmed every storage slot,
+  // so committed-state reads never miss.
+  bool prefetch = false;
+};
+
+struct BlockReport {
+  uint64_t makespan_ns = 0;
+
+  // Conflict-resolution statistics.
+  int conflicts = 0;       // Transactions that failed validation.
+  int redo_success = 0;    // Conflicts resolved by the redo phase.
+  int redo_fail = 0;       // Redo aborted (guard failure) -> full re-execution.
+  int full_reexecutions = 0;
+  int lock_aborts = 0;     // 2PL wounds.
+  uint64_t redo_entries_reexecuted = 0;
+  uint64_t redo_ns = 0;    // Virtual time spent in redo.
+  uint64_t oplog_entries = 0;
+  uint64_t instructions = 0;
+
+  std::vector<Receipt> receipts;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual std::string_view name() const = 0;
+  // Executes the block's transactions in block order against `state`,
+  // committing all effects (including the block-end coinbase fee credit).
+  virtual BlockReport Execute(const Block& block, WorldState& state) = 0;
+};
+
+// Tracks which committed-state keys are memory-resident. Executors consult it
+// to split reads into cold (disk-latency) and warm (cache-latency).
+class StateCache {
+ public:
+  explicit StateCache(bool all_warm) : all_warm_(all_warm) {}
+
+  // Counts the cold keys in `reads`, then marks them resident.
+  uint64_t Touch(const ReadSet& reads) {
+    if (all_warm_) {
+      return 0;
+    }
+    uint64_t cold = 0;
+    for (const auto& [key, value] : reads) {
+      if (resident_.insert(key).second) {
+        ++cold;
+      }
+    }
+    return cold;
+  }
+
+ private:
+  bool all_warm_;
+  std::unordered_set<StateKey, StateKeyHash> resident_;
+};
+
+// Envelope reads (sender nonce + balance) that are not counted in
+// ExecStats::sloads but still hit committed state.
+inline constexpr uint64_t kEnvelopeReads = 3;
+
+// Total committed-read operations a transaction performed; used to derive the
+// warm-read count once cold reads are known.
+inline uint64_t TotalReadOps(const ExecStats& stats) { return stats.sloads + kEnvelopeReads; }
+
+// Credits the accumulated fees to the coinbase (all executors defer this to
+// block end; see src/exec/apply.h).
+inline void CreditCoinbase(WorldState& state, const Address& coinbase, const U256& fees) {
+  if (!fees.IsZero()) {
+    state.SetBalance(coinbase, state.GetBalance(coinbase) + fees);
+  }
+}
+
+}  // namespace pevm
+
+#endif  // SRC_EXEC_EXECUTOR_H_

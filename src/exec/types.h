@@ -1,0 +1,42 @@
+// Block-level execution types shared by every executor.
+#ifndef SRC_EXEC_TYPES_H_
+#define SRC_EXEC_TYPES_H_
+
+#include <vector>
+
+#include "src/evm/evm_types.h"
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+struct Transaction {
+  Address from;
+  Address to;  // Contract creation is out of scope; `to` is always set.
+  U256 value;
+  Bytes data;
+  int64_t gas_limit = 1'000'000;
+  U256 gas_price{1'000'000'000};  // 1 gwei.
+  uint64_t nonce = 0;
+};
+
+struct Block {
+  BlockContext context;
+  std::vector<Transaction> transactions;
+};
+
+struct Receipt {
+  // False when the transaction could not even start (bad nonce / insufficient
+  // upfront balance). Invalid transactions leave no writes but do leave the
+  // reads that proved them invalid, so validation can retry them.
+  bool valid = false;
+  EvmStatus status = EvmStatus::kSuccess;
+  int64_t gas_used = 0;
+  U256 fee;  // gas_used * gas_price; credited to the coinbase at block end.
+  Bytes output;
+  ExecStats stats;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_EXEC_TYPES_H_

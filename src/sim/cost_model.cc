@@ -1,0 +1,30 @@
+#include "src/sim/cost_model.h"
+
+#include <queue>
+
+namespace pevm {
+
+ScheduleResult ListSchedule(const std::vector<uint64_t>& durations, int threads,
+                            uint64_t dispatch_ns) {
+  ScheduleResult result;
+  result.finish.resize(durations.size());
+  if (threads < 1) {
+    threads = 1;
+  }
+  // Min-heap of worker available-times.
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> workers;
+  for (int i = 0; i < threads; ++i) {
+    workers.push(0);
+  }
+  for (size_t i = 0; i < durations.size(); ++i) {
+    uint64_t start = workers.top();
+    workers.pop();
+    uint64_t end = start + dispatch_ns + durations[i];
+    result.finish[i] = end;
+    result.makespan = std::max(result.makespan, end);
+    workers.push(end);
+  }
+  return result;
+}
+
+}  // namespace pevm

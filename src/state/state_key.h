@@ -1,0 +1,65 @@
+// A uniform key space for every piece of mutable world state the concurrency
+// control algorithms track: storage slots, balances and nonces. Treating the
+// transaction envelope (ether debits/credits, nonce bumps) as ordinary
+// key-value accesses lets the validation and redo machinery handle them with
+// the same machinery as SLOAD/SSTORE conflicts.
+#ifndef SRC_STATE_STATE_KEY_H_
+#define SRC_STATE_STATE_KEY_H_
+
+#include <functional>
+#include <string>
+
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+enum class StateKeyKind : uint8_t {
+  kBalance = 0,
+  kNonce = 1,
+  kStorage = 2,
+};
+
+struct StateKey {
+  Address address;
+  StateKeyKind kind = StateKeyKind::kBalance;
+  U256 slot;  // Only meaningful for kStorage.
+
+  static StateKey Balance(const Address& a) { return {a, StateKeyKind::kBalance, U256{}}; }
+  static StateKey Nonce(const Address& a) { return {a, StateKeyKind::kNonce, U256{}}; }
+  static StateKey Storage(const Address& a, const U256& slot) {
+    return {a, StateKeyKind::kStorage, slot};
+  }
+
+  friend bool operator==(const StateKey&, const StateKey&) = default;
+
+  std::string ToString() const {
+    switch (kind) {
+      case StateKeyKind::kBalance:
+        return "balance(" + address.ToHex() + ")";
+      case StateKeyKind::kNonce:
+        return "nonce(" + address.ToHex() + ")";
+      case StateKeyKind::kStorage:
+        return "storage(" + address.ToHex() + ", " + slot.ToHexString() + ")";
+    }
+    return "?";
+  }
+};
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& k) const {
+    size_t h = Fnv1a(k.address.view());
+    h ^= static_cast<size_t>(k.kind) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= k.slot.HashValue() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace pevm
+
+template <>
+struct std::hash<pevm::StateKey> {
+  size_t operator()(const pevm::StateKey& k) const { return pevm::StateKeyHash{}(k); }
+};
+
+#endif  // SRC_STATE_STATE_KEY_H_

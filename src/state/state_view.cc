@@ -1,0 +1,47 @@
+#include "src/state/state_view.h"
+
+namespace pevm {
+
+U256 StateView::Get(const StateKey& key) {
+  auto wit = writes_.find(key);
+  if (wit != writes_.end()) {
+    return wit->second;
+  }
+  return GetCommitted(key);
+}
+
+U256 StateView::GetCommitted(const StateKey& key) {
+  auto rit = reads_.find(key);
+  if (rit != reads_.end()) {
+    return rit->second;
+  }
+  U256 v = base_->Read(key);
+  reads_.emplace(key, v);
+  read_order_.push_back(key);
+  return v;
+}
+
+void StateView::Set(const StateKey& key, const U256& value) {
+  auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    journal_.push_back({key, it->second});
+    it->second = value;
+  } else {
+    journal_.push_back({key, std::nullopt});
+    writes_.emplace(key, value);
+  }
+}
+
+void StateView::RevertToSnapshot(size_t snapshot) {
+  while (journal_.size() > snapshot) {
+    JournalEntry& e = journal_.back();
+    if (e.prior.has_value()) {
+      writes_[e.key] = *e.prior;
+    } else {
+      writes_.erase(e.key);
+    }
+    journal_.pop_back();
+  }
+}
+
+}  // namespace pevm

@@ -1,0 +1,69 @@
+// The committed Ethereum world state: address -> {balance, nonce, code,
+// storage}. Executors mutate it only through Apply(write_set) at commit
+// time; speculative execution goes through StateView overlays.
+#ifndef SRC_STATE_WORLD_STATE_H_
+#define SRC_STATE_WORLD_STATE_H_
+
+#include <unordered_map>
+
+#include "src/state/state_key.h"
+#include "src/support/bytes.h"
+#include "src/support/keccak.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+struct Account {
+  U256 balance;
+  uint64_t nonce = 0;
+  Bytes code;
+  std::unordered_map<U256, U256> storage;
+};
+
+// A write set maps state keys to their new values. Storage writes of zero are
+// kept (they clear the slot on Apply).
+using WriteSet = std::unordered_map<StateKey, U256, StateKeyHash>;
+
+// A read set maps state keys to the committed value observed when the key was
+// first read from the base state during speculative execution.
+using ReadSet = std::unordered_map<StateKey, U256, StateKeyHash>;
+
+class WorldState {
+ public:
+  // Reads return zero for absent accounts/slots, per EVM semantics.
+  U256 GetBalance(const Address& a) const;
+  uint64_t GetNonce(const Address& a) const;
+  U256 GetStorage(const Address& a, const U256& slot) const;
+  const Bytes* GetCode(const Address& a) const;  // nullptr if no code.
+
+  void SetBalance(const Address& a, const U256& v);
+  void SetNonce(const Address& a, uint64_t n);
+  void SetStorage(const Address& a, const U256& slot, const U256& v);
+  void SetCode(const Address& a, Bytes code);
+
+  // Uniform access used by validation/commit.
+  U256 Get(const StateKey& key) const;
+  void Set(const StateKey& key, const U256& value);
+
+  // Applies a whole write set (a transaction commit).
+  void Apply(const WriteSet& writes);
+
+  // Full Merkle Patricia state root (secure trie: keyed by keccak(address) /
+  // keccak(slot), account bodies RLP-encoded as [nonce, balance, storageRoot,
+  // codeHash]). This is the §6.2 correctness oracle; O(state size), so tests
+  // use it at block boundaries rather than per transaction.
+  Hash256 StateRoot() const;
+
+  // Cheap order-independent digest over the full state; used by benches to
+  // assert executor equivalence without paying for a trie build.
+  uint64_t Digest() const;
+
+  size_t account_count() const { return accounts_.size(); }
+
+ private:
+  std::unordered_map<Address, Account> accounts_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_STATE_WORLD_STATE_H_

@@ -1,0 +1,65 @@
+#include "src/support/bytes.h"
+
+namespace pevm {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::optional<Bytes> HexDecode(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) {
+    hex.remove_prefix(2);
+  }
+  if (hex.size() % 2 != 0) {
+    return std::nullopt;
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return std::nullopt;
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::optional<Address> Address::FromHex(std::string_view hex) {
+  std::optional<Bytes> raw = HexDecode(hex);
+  if (!raw.has_value() || raw->size() != kSize) {
+    return std::nullopt;
+  }
+  Address a;
+  std::copy(raw->begin(), raw->end(), a.bytes_.begin());
+  return a;
+}
+
+std::string Address::ToHex() const { return "0x" + HexEncode(view()); }
+
+}  // namespace pevm

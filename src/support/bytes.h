@@ -1,0 +1,94 @@
+// Byte-buffer and address primitives shared by every module.
+#ifndef SRC_SUPPORT_BYTES_H_
+#define SRC_SUPPORT_BYTES_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pevm {
+
+// Dynamically sized byte buffer (calldata, code, memory snapshots, RLP output).
+using Bytes = std::vector<uint8_t>;
+
+// Read-only view over bytes; the preferred parameter type at API boundaries.
+using BytesView = std::span<const uint8_t>;
+
+// Hex-encodes `data` without a "0x" prefix, lowercase.
+std::string HexEncode(BytesView data);
+
+// Decodes a hex string (with or without "0x" prefix). Returns std::nullopt on
+// invalid characters or odd length.
+std::optional<Bytes> HexDecode(std::string_view hex);
+
+// A 20-byte Ethereum account address.
+class Address {
+ public:
+  static constexpr size_t kSize = 20;
+
+  constexpr Address() = default;
+  explicit constexpr Address(const std::array<uint8_t, kSize>& bytes) : bytes_(bytes) {}
+
+  // Builds an address whose trailing 8 bytes hold `id` big-endian; convenient
+  // for tests and synthetic workloads ("address #42").
+  static constexpr Address FromId(uint64_t id) {
+    Address a;
+    for (int i = 0; i < 8; ++i) {
+      a.bytes_[kSize - 1 - i] = static_cast<uint8_t>(id >> (8 * i));
+    }
+    return a;
+  }
+
+  // Parses a 40-hex-char address (optionally "0x"-prefixed).
+  static std::optional<Address> FromHex(std::string_view hex);
+
+  constexpr const std::array<uint8_t, kSize>& bytes() const { return bytes_; }
+  constexpr std::array<uint8_t, kSize>& bytes() { return bytes_; }
+
+  BytesView view() const { return BytesView(bytes_.data(), bytes_.size()); }
+
+  std::string ToHex() const;
+
+  constexpr bool IsZero() const {
+    for (uint8_t b : bytes_) {
+      if (b != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  friend constexpr bool operator==(const Address&, const Address&) = default;
+  friend constexpr auto operator<=>(const Address&, const Address&) = default;
+
+ private:
+  std::array<uint8_t, kSize> bytes_{};
+};
+
+// FNV-1a over arbitrary bytes; used by the hash specializations below and by
+// the workload generator for cheap deterministic mixing.
+constexpr uint64_t Fnv1a(BytesView data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+struct AddressHash {
+  size_t operator()(const Address& a) const { return Fnv1a(a.view()); }
+};
+
+}  // namespace pevm
+
+template <>
+struct std::hash<pevm::Address> {
+  size_t operator()(const pevm::Address& a) const { return pevm::Fnv1a(a.view()); }
+};
+
+#endif  // SRC_SUPPORT_BYTES_H_

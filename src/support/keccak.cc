@@ -1,0 +1,115 @@
+#include "src/support/keccak.h"
+
+#include <cstring>
+
+namespace pevm {
+namespace {
+
+constexpr int kRounds = 24;
+constexpr size_t kRateBytes = 136;  // 1088-bit rate for Keccak-256.
+
+constexpr uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL, 0x8000000080008000ULL,
+    0x000000000000808bULL, 0x0000000080000001ULL, 0x8000000080008081ULL, 0x8000000000008009ULL,
+    0x000000000000008aULL, 0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL, 0x8000000000008003ULL,
+    0x8000000000008002ULL, 0x8000000000000080ULL, 0x000000000000800aULL, 0x800000008000000aULL,
+    0x8000000080008081ULL, 0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL,
+};
+
+constexpr int kRotations[5][5] = {
+    {0, 36, 3, 41, 18}, {1, 44, 10, 45, 2}, {62, 6, 43, 15, 61}, {28, 55, 25, 21, 56},
+    {27, 20, 39, 8, 14},
+};
+
+uint64_t Rotl(uint64_t v, int s) { return s == 0 ? v : (v << s) | (v >> (64 - s)); }
+
+void KeccakF1600(uint64_t a[5][5]) {
+  for (int round = 0; round < kRounds; ++round) {
+    // Theta.
+    uint64_t c[5];
+    uint64_t d[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+    }
+    for (int x = 0; x < 5; ++x) {
+      d[x] = c[(x + 4) % 5] ^ Rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) {
+        a[x][y] ^= d[x];
+      }
+    }
+    // Rho + Pi.
+    uint64_t b[5][5];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y][(2 * x + 3 * y) % 5] = Rotl(a[x][y], kRotations[x][y]);
+      }
+    }
+    // Chi.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x][y] = b[x][y] ^ (~b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+      }
+    }
+    // Iota.
+    a[0][0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Hash256 Keccak256(BytesView data) {
+  uint64_t state[5][5] = {};
+  // Absorb.
+  size_t offset = 0;
+  while (data.size() - offset >= kRateBytes) {
+    for (size_t i = 0; i < kRateBytes / 8; ++i) {
+      uint64_t lane;
+      std::memcpy(&lane, data.data() + offset + i * 8, 8);  // Little-endian lanes.
+      state[i % 5][i / 5] ^= lane;
+    }
+    KeccakF1600(state);
+    offset += kRateBytes;
+  }
+  // Final block with Keccak (0x01) padding.
+  uint8_t block[kRateBytes] = {};
+  size_t rem = data.size() - offset;
+  if (rem > 0) {
+    std::memcpy(block, data.data() + offset, rem);
+  }
+  block[rem] = 0x01;
+  block[kRateBytes - 1] |= 0x80;
+  for (size_t i = 0; i < kRateBytes / 8; ++i) {
+    uint64_t lane;
+    std::memcpy(&lane, block + i * 8, 8);
+    state[i % 5][i / 5] ^= lane;
+  }
+  KeccakF1600(state);
+  // Squeeze 32 bytes.
+  Hash256 out;
+  for (size_t i = 0; i < 4; ++i) {
+    uint64_t lane = state[i % 5][i / 5];
+    std::memcpy(out.data() + i * 8, &lane, 8);
+  }
+  return out;
+}
+
+U256 Keccak256Word(BytesView data) {
+  Hash256 h = Keccak256(data);
+  return U256::FromBigEndian(BytesView(h.data(), h.size()));
+}
+
+U256 MappingSlot(const U256& key, const U256& slot) {
+  std::array<uint8_t, 64> buf;
+  std::array<uint8_t, 32> k = key.ToBigEndian();
+  std::array<uint8_t, 32> s = slot.ToBigEndian();
+  std::copy(k.begin(), k.end(), buf.begin());
+  std::copy(s.begin(), s.end(), buf.begin() + 32);
+  return Keccak256Word(BytesView(buf.data(), buf.size()));
+}
+
+U256 MappingSlot2(const U256& key1, const U256& key2, const U256& slot) {
+  return MappingSlot(key2, MappingSlot(key1, slot));
+}
+
+}  // namespace pevm

@@ -1,0 +1,32 @@
+// Keccak-256 (the pre-NIST-padding variant Ethereum uses everywhere: state
+// roots, storage-slot derivation for mappings, function selectors, SHA3).
+#ifndef SRC_SUPPORT_KECCAK_H_
+#define SRC_SUPPORT_KECCAK_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+using Hash256 = std::array<uint8_t, 32>;
+
+// One-shot Keccak-256 over `data`.
+Hash256 Keccak256(BytesView data);
+
+// Keccak-256 returned as a U256 (big-endian interpretation), the form the
+// SHA3 opcode and mapping-slot math want.
+U256 Keccak256Word(BytesView data);
+
+// Solidity storage-slot derivation for `mapping(key => v)` held in `slot`:
+// keccak256(abi.encode(key, slot)).
+U256 MappingSlot(const U256& key, const U256& slot);
+
+// Two-level mapping (e.g. allowances[owner][spender]).
+U256 MappingSlot2(const U256& key1, const U256& key2, const U256& slot);
+
+}  // namespace pevm
+
+#endif  // SRC_SUPPORT_KECCAK_H_

@@ -1,0 +1,55 @@
+#include "src/support/rlp.h"
+
+namespace pevm {
+namespace {
+
+// Emits the length prefix for a payload of `len` bytes, where `base` is 0x80
+// for strings and 0xc0 for lists.
+void AppendLengthPrefix(Bytes& out, size_t len, uint8_t base) {
+  if (len <= 55) {
+    out.push_back(static_cast<uint8_t>(base + len));
+    return;
+  }
+  Bytes len_bytes;
+  size_t v = len;
+  while (v > 0) {
+    len_bytes.insert(len_bytes.begin(), static_cast<uint8_t>(v & 0xff));
+    v >>= 8;
+  }
+  out.push_back(static_cast<uint8_t>(base + 55 + len_bytes.size()));
+  out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+}
+
+}  // namespace
+
+Bytes RlpEncodeBytes(BytesView data) {
+  Bytes out;
+  if (data.size() == 1 && data[0] < 0x80) {
+    out.push_back(data[0]);
+    return out;
+  }
+  AppendLengthPrefix(out, data.size(), 0x80);
+  out.insert(out.end(), data.begin(), data.end());
+  return out;
+}
+
+Bytes RlpEncodeUint(const U256& value) {
+  std::array<uint8_t, 32> be = value.ToBigEndian();
+  unsigned len = value.ByteLength();
+  return RlpEncodeBytes(BytesView(be.data() + (32 - len), len));
+}
+
+Bytes RlpEncodeList(std::span<const Bytes> items) {
+  size_t payload = 0;
+  for (const Bytes& item : items) {
+    payload += item.size();
+  }
+  Bytes out;
+  AppendLengthPrefix(out, payload, 0xc0);
+  for (const Bytes& item : items) {
+    out.insert(out.end(), item.begin(), item.end());
+  }
+  return out;
+}
+
+}  // namespace pevm

@@ -1,0 +1,25 @@
+// Recursive Length Prefix encoding (yellow paper appendix B) — the encoding
+// the Merkle Patricia Trie nodes and account bodies use.
+#ifndef SRC_SUPPORT_RLP_H_
+#define SRC_SUPPORT_RLP_H_
+
+#include <span>
+
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+// Encodes a byte string.
+Bytes RlpEncodeBytes(BytesView data);
+
+// Encodes an unsigned integer as its minimal big-endian byte string (zero
+// encodes as the empty string, per the yellow paper).
+Bytes RlpEncodeUint(const U256& value);
+
+// Wraps already-encoded items into a list.
+Bytes RlpEncodeList(std::span<const Bytes> items);
+
+}  // namespace pevm
+
+#endif  // SRC_SUPPORT_RLP_H_

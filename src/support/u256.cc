@@ -1,0 +1,257 @@
+#include "src/support/u256.h"
+
+#include <algorithm>
+#include <span>
+
+namespace pevm {
+namespace {
+
+struct DivModResult {
+  U256 quotient;
+  U256 remainder;
+};
+
+bool GetBit(const U256& v, unsigned i) { return (v.limb(i / 64) >> (i % 64)) & 1; }
+
+// Classic restoring long division, one bit at a time. At most 256 iterations;
+// DIV/MOD are rare enough in EVM traces that this is not a bottleneck.
+DivModResult DivMod(const U256& a, const U256& b) {
+  DivModResult out;
+  if (b.IsZero()) {
+    return out;  // EVM: x / 0 == 0, x % 0 == 0.
+  }
+  if (a < b) {
+    out.remainder = a;
+    return out;
+  }
+  unsigned bits = a.BitLength();
+  U256 rem;
+  U256 quo;
+  for (int i = static_cast<int>(bits) - 1; i >= 0; --i) {
+    rem = U256::Shl(1, rem);
+    if (GetBit(a, static_cast<unsigned>(i))) {
+      rem = rem | U256(1);
+    }
+    if (rem >= b) {
+      rem = rem - b;
+      quo = quo | U256::Shl(static_cast<uint64_t>(i), U256(1));
+    }
+  }
+  out.quotient = quo;
+  out.remainder = rem;
+  return out;
+}
+
+// Reduces a little-endian limb array (up to 512 bits) modulo n.
+U256 ModLimbs(std::span<const uint64_t> limbs, const U256& n) {
+  if (n.IsZero()) {
+    return U256{};
+  }
+  U256 rem;
+  for (size_t li = limbs.size(); li-- > 0;) {
+    for (int bi = 63; bi >= 0; --bi) {
+      rem = U256::Shl(1, rem);
+      if ((limbs[li] >> bi) & 1) {
+        rem = rem | U256(1);
+      }
+      if (rem >= n) {
+        rem = rem - n;
+      }
+    }
+  }
+  return rem;
+}
+
+}  // namespace
+
+U256 U256::Div(const U256& a, const U256& b) { return DivMod(a, b).quotient; }
+
+U256 U256::Mod(const U256& a, const U256& b) { return DivMod(a, b).remainder; }
+
+U256 U256::SDiv(const U256& a, const U256& b) {
+  if (b.IsZero()) {
+    return U256{};
+  }
+  bool neg_a = a.IsNegative();
+  bool neg_b = b.IsNegative();
+  U256 ua = neg_a ? -a : a;
+  U256 ub = neg_b ? -b : b;
+  U256 q = Div(ua, ub);
+  // Note: SDIV(-2^255, -1) overflows to -2^255; the negate below reproduces
+  // that naturally since -(2^255) == 2^255 in wrapping arithmetic.
+  return (neg_a != neg_b) ? -q : q;
+}
+
+U256 U256::SMod(const U256& a, const U256& b) {
+  if (b.IsZero()) {
+    return U256{};
+  }
+  bool neg_a = a.IsNegative();
+  U256 ua = neg_a ? -a : a;
+  U256 ub = b.IsNegative() ? -b : b;
+  U256 r = Mod(ua, ub);
+  return neg_a ? -r : r;
+}
+
+U256 U256::AddMod(const U256& a, const U256& b, const U256& n) {
+  if (n.IsZero()) {
+    return U256{};
+  }
+  U256 ra = Mod(a, n);
+  U256 rb = Mod(b, n);
+  U256 sum = ra + rb;
+  // ra, rb < n <= 2^256 - 1, so ra + rb < 2n. Overflow past 2^256 or sum >= n
+  // both mean exactly one subtraction of n is needed (wrapping subtraction is
+  // correct in the overflow case).
+  bool overflow = sum < ra;
+  if (overflow || sum >= n) {
+    sum = sum - n;
+  }
+  return sum;
+}
+
+U256 U256::MulMod(const U256& a, const U256& b, const U256& n) {
+  if (n.IsZero()) {
+    return U256{};
+  }
+  // Full 512-bit product, then reduce.
+  std::array<uint64_t, 8> prod{};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur =
+          static_cast<unsigned __int128>(a.limb(i)) * b.limb(j) + prod[i + j] + carry;
+      prod[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    prod[i + 4] = static_cast<uint64_t>(carry);
+  }
+  return ModLimbs(prod, n);
+}
+
+U256 U256::Exp(const U256& base, const U256& exponent) {
+  U256 result(1);
+  U256 b = base;
+  for (unsigned i = 0; i < exponent.BitLength(); ++i) {
+    if (GetBit(exponent, i)) {
+      result = result * b;
+    }
+    b = b * b;
+  }
+  return result;
+}
+
+U256 U256::SignExtend(const U256& byte_index, const U256& value) {
+  if (!byte_index.FitsUint64() || byte_index.AsUint64() >= 31) {
+    return value;
+  }
+  unsigned idx = static_cast<unsigned>(byte_index.AsUint64());
+  unsigned sign_bit = idx * 8 + 7;
+  U256 mask = Shl(sign_bit + 1, U256(1)) - U256(1);  // Low (idx+1)*8 bits set.
+  if (GetBit(value, sign_bit)) {
+    return value | ~mask;
+  }
+  return value & mask;
+}
+
+U256 U256::Byte(const U256& i, const U256& value) {
+  if (!i.FitsUint64() || i.AsUint64() >= 32) {
+    return U256{};
+  }
+  unsigned shift = (31 - static_cast<unsigned>(i.AsUint64())) * 8;
+  return Shr(shift, value) & U256(0xff);
+}
+
+U256 U256::FromBigEndian(BytesView bytes) {
+  U256 r;
+  size_t n = std::min<size_t>(bytes.size(), 32);
+  // Right-align: the last byte of input is the least significant.
+  for (size_t i = 0; i < n; ++i) {
+    uint8_t b = bytes[bytes.size() - 1 - i];
+    r.limbs_[i / 8] |= static_cast<uint64_t>(b) << (8 * (i % 8));
+  }
+  return r;
+}
+
+std::array<uint8_t, 32> U256::ToBigEndian() const {
+  std::array<uint8_t, 32> out{};
+  for (size_t i = 0; i < 32; ++i) {
+    out[31 - i] = static_cast<uint8_t>(limbs_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
+}
+
+Address U256::ToAddress() const {
+  std::array<uint8_t, 32> be = ToBigEndian();
+  std::array<uint8_t, Address::kSize> a;
+  std::copy(be.begin() + 12, be.end(), a.begin());
+  return Address(a);
+}
+
+std::optional<U256> U256::FromString(std::string_view text) {
+  if (text.empty()) {
+    return std::nullopt;
+  }
+  if (text.starts_with("0x") || text.starts_with("0X")) {
+    text.remove_prefix(2);
+    if (text.empty() || text.size() > 64) {
+      return std::nullopt;
+    }
+    U256 r;
+    for (char c : text) {
+      int v;
+      if (c >= '0' && c <= '9') {
+        v = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        v = c - 'a' + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        v = c - 'A' + 10;
+      } else {
+        return std::nullopt;
+      }
+      r = Shl(4, r) | U256(static_cast<uint64_t>(v));
+    }
+    return r;
+  }
+  U256 r;
+  const U256 ten(10);
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+    U256 next = r * ten + U256(static_cast<uint64_t>(c - '0'));
+    if (Div(next - U256(static_cast<uint64_t>(c - '0')), ten) != r) {
+      return std::nullopt;  // Overflow.
+    }
+    r = next;
+  }
+  return r;
+}
+
+std::string U256::ToString() const {
+  if (IsZero()) {
+    return "0";
+  }
+  std::string digits;
+  U256 v = *this;
+  const U256 ten(10);
+  while (!v.IsZero()) {
+    DivModResult dm = DivMod(v, ten);
+    digits.push_back(static_cast<char>('0' + dm.remainder.AsUint64()));
+    v = dm.quotient;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string U256::ToHexString() const {
+  if (IsZero()) {
+    return "0x0";
+  }
+  std::array<uint8_t, 32> be = ToBigEndian();
+  std::string hex = HexEncode(BytesView(be.data(), be.size()));
+  size_t first = hex.find_first_not_of('0');
+  return "0x" + hex.substr(first);
+}
+
+}  // namespace pevm

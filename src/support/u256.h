@@ -1,0 +1,250 @@
+// 256-bit unsigned integer with the exact wrapping/signed semantics the EVM
+// specifies (yellow paper appendix H): ADD/SUB/MUL wrap mod 2^256, DIV/MOD
+// return 0 on division by zero, SDIV/SMOD use two's-complement with the
+// dividend's sign for SMOD, and SDIV(-2^255, -1) = -2^255.
+#ifndef SRC_SUPPORT_U256_H_
+#define SRC_SUPPORT_U256_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/support/bytes.h"
+
+namespace pevm {
+
+class U256 {
+ public:
+  constexpr U256() = default;
+  constexpr U256(uint64_t v) : limbs_{v, 0, 0, 0} {}  // NOLINT(google-explicit-constructor)
+  constexpr U256(uint64_t l3, uint64_t l2, uint64_t l1, uint64_t l0)
+      : limbs_{l0, l1, l2, l3} {}  // Most-significant-first, matching literals.
+
+  // Parses decimal or (0x-prefixed) hex. Returns nullopt on bad input/overflow.
+  static std::optional<U256> FromString(std::string_view text);
+
+  // Big-endian byte conversions. FromBigEndian accepts 0..32 bytes
+  // (right-aligned, as CALLDATALOAD-style zero extension is handled by callers).
+  static U256 FromBigEndian(BytesView bytes);
+  std::array<uint8_t, 32> ToBigEndian() const;
+
+  static U256 FromAddress(const Address& a) { return FromBigEndian(a.view()); }
+  // Truncates to the low 160 bits, the EVM rule for address-typed words.
+  Address ToAddress() const;
+
+  constexpr uint64_t limb(size_t i) const { return limbs_[i]; }
+
+  constexpr bool IsZero() const {
+    return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0;
+  }
+
+  // True if the value fits in a uint64_t.
+  constexpr bool FitsUint64() const { return (limbs_[1] | limbs_[2] | limbs_[3]) == 0; }
+  constexpr uint64_t AsUint64() const { return limbs_[0]; }  // Truncating.
+
+  // Saturates to uint64 max when the value does not fit; handy for gas/length
+  // operands where anything above 2^64 is "out of gas" anyway.
+  constexpr uint64_t AsUint64Saturated() const {
+    return FitsUint64() ? limbs_[0] : ~uint64_t{0};
+  }
+
+  constexpr bool IsNegative() const { return (limbs_[3] >> 63) != 0; }
+
+  // --- Wrapping arithmetic (EVM ADD/SUB/MUL). ---
+  friend constexpr U256 operator+(const U256& a, const U256& b) {
+    U256 r;
+    unsigned __int128 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 s = static_cast<unsigned __int128>(a.limbs_[i]) + b.limbs_[i] + carry;
+      r.limbs_[i] = static_cast<uint64_t>(s);
+      carry = s >> 64;
+    }
+    return r;
+  }
+
+  friend constexpr U256 operator-(const U256& a, const U256& b) {
+    U256 r;
+    unsigned __int128 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 d = static_cast<unsigned __int128>(a.limbs_[i]) - b.limbs_[i] - borrow;
+      r.limbs_[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) & 1;
+    }
+    return r;
+  }
+
+  friend constexpr U256 operator*(const U256& a, const U256& b) {
+    U256 r;
+    for (int i = 0; i < 4; ++i) {
+      unsigned __int128 carry = 0;
+      for (int j = 0; i + j < 4; ++j) {
+        unsigned __int128 cur = static_cast<unsigned __int128>(a.limbs_[i]) * b.limbs_[j] +
+                                r.limbs_[i + j] + carry;
+        r.limbs_[i + j] = static_cast<uint64_t>(cur);
+        carry = cur >> 64;
+      }
+    }
+    return r;
+  }
+
+  constexpr U256 operator-() const { return U256{} - *this; }
+
+  // EVM DIV / MOD: x / 0 == 0, x % 0 == 0.
+  static U256 Div(const U256& a, const U256& b);
+  static U256 Mod(const U256& a, const U256& b);
+  // EVM SDIV / SMOD (two's complement; SMOD result takes the dividend's sign).
+  static U256 SDiv(const U256& a, const U256& b);
+  static U256 SMod(const U256& a, const U256& b);
+  // EVM ADDMOD / MULMOD: intermediate values are not truncated to 256 bits.
+  static U256 AddMod(const U256& a, const U256& b, const U256& n);
+  static U256 MulMod(const U256& a, const U256& b, const U256& n);
+  // EVM EXP (wrapping square-and-multiply).
+  static U256 Exp(const U256& base, const U256& exponent);
+  // EVM SIGNEXTEND: extends the sign of the byte at index `byte_index` (0 =
+  // least significant). byte_index >= 31 returns the value unchanged.
+  static U256 SignExtend(const U256& byte_index, const U256& value);
+  // EVM BYTE: returns the i-th byte counting from the most significant end;
+  // i >= 32 yields 0.
+  static U256 Byte(const U256& i, const U256& value);
+
+  // --- Bitwise. ---
+  friend constexpr U256 operator&(const U256& a, const U256& b) {
+    return Bitwise(a, b, [](uint64_t x, uint64_t y) { return x & y; });
+  }
+  friend constexpr U256 operator|(const U256& a, const U256& b) {
+    return Bitwise(a, b, [](uint64_t x, uint64_t y) { return x | y; });
+  }
+  friend constexpr U256 operator^(const U256& a, const U256& b) {
+    return Bitwise(a, b, [](uint64_t x, uint64_t y) { return x ^ y; });
+  }
+  constexpr U256 operator~() const {
+    return U256(~limbs_[3], ~limbs_[2], ~limbs_[1], ~limbs_[0]);
+  }
+
+  // Shifts: amounts >= 256 produce 0 (or the sign fill for Sar).
+  static constexpr U256 Shl(const U256& shift, const U256& value) {
+    if (!shift.FitsUint64() || shift.limbs_[0] >= 256) {
+      return U256{};
+    }
+    return ShlSmall(value, static_cast<unsigned>(shift.limbs_[0]));
+  }
+  static constexpr U256 Shr(const U256& shift, const U256& value) {
+    if (!shift.FitsUint64() || shift.limbs_[0] >= 256) {
+      return U256{};
+    }
+    return ShrSmall(value, static_cast<unsigned>(shift.limbs_[0]));
+  }
+  static constexpr U256 Sar(const U256& shift, const U256& value) {
+    bool neg = value.IsNegative();
+    if (!shift.FitsUint64() || shift.limbs_[0] >= 256) {
+      return neg ? ~U256{} : U256{};
+    }
+    unsigned s = static_cast<unsigned>(shift.limbs_[0]);
+    U256 r = ShrSmall(value, s);
+    if (neg && s > 0) {
+      r = r | ShlSmall(~U256{}, 256 - s);
+    }
+    return r;
+  }
+
+  // --- Comparisons. ---
+  friend constexpr bool operator==(const U256&, const U256&) = default;
+  friend constexpr bool operator<(const U256& a, const U256& b) {
+    for (int i = 3; i >= 0; --i) {
+      if (a.limbs_[i] != b.limbs_[i]) {
+        return a.limbs_[i] < b.limbs_[i];
+      }
+    }
+    return false;
+  }
+  friend constexpr bool operator>(const U256& a, const U256& b) { return b < a; }
+  friend constexpr bool operator<=(const U256& a, const U256& b) { return !(b < a); }
+  friend constexpr bool operator>=(const U256& a, const U256& b) { return !(a < b); }
+
+  static constexpr bool SLt(const U256& a, const U256& b) {
+    if (a.IsNegative() != b.IsNegative()) {
+      return a.IsNegative();
+    }
+    return a < b;
+  }
+
+  // Number of significant bits (0 for zero).
+  constexpr unsigned BitLength() const {
+    for (int i = 3; i >= 0; --i) {
+      if (limbs_[i] != 0) {
+        return static_cast<unsigned>(i) * 64 + (64 - static_cast<unsigned>(__builtin_clzll(limbs_[i])));
+      }
+    }
+    return 0;
+  }
+
+  // Number of significant bytes (0 for zero); used by RLP and EXP gas.
+  constexpr unsigned ByteLength() const { return (BitLength() + 7) / 8; }
+
+  std::string ToString() const;  // Decimal.
+  std::string ToHexString() const;  // 0x-prefixed minimal hex.
+
+  size_t HashValue() const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t l : limbs_) {
+      h ^= l + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
+ private:
+  template <typename Op>
+  static constexpr U256 Bitwise(const U256& a, const U256& b, Op op) {
+    U256 r;
+    for (int i = 0; i < 4; ++i) {
+      r.limbs_[i] = op(a.limbs_[i], b.limbs_[i]);
+    }
+    return r;
+  }
+
+  static constexpr U256 ShlSmall(const U256& v, unsigned s) {
+    if (s == 0) {
+      return v;
+    }
+    U256 r;
+    unsigned limb_shift = s / 64;
+    unsigned bit_shift = s % 64;
+    for (int i = 3; i >= 0; --i) {
+      uint64_t lo = (static_cast<unsigned>(i) >= limb_shift) ? v.limbs_[i - limb_shift] : 0;
+      uint64_t hi = (bit_shift != 0 && static_cast<unsigned>(i) >= limb_shift + 1)
+                        ? v.limbs_[i - limb_shift - 1]
+                        : 0;
+      r.limbs_[i] = (bit_shift == 0) ? lo : ((lo << bit_shift) | (hi >> (64 - bit_shift)));
+    }
+    return r;
+  }
+
+  static constexpr U256 ShrSmall(const U256& v, unsigned s) {
+    if (s == 0) {
+      return v;
+    }
+    U256 r;
+    unsigned limb_shift = s / 64;
+    unsigned bit_shift = s % 64;
+    for (unsigned i = 0; i < 4; ++i) {
+      uint64_t lo = (i + limb_shift < 4) ? v.limbs_[i + limb_shift] : 0;
+      uint64_t hi = (bit_shift != 0 && i + limb_shift + 1 < 4) ? v.limbs_[i + limb_shift + 1] : 0;
+      r.limbs_[i] = (bit_shift == 0) ? lo : ((lo >> bit_shift) | (hi << (64 - bit_shift)));
+    }
+    return r;
+  }
+
+  // Little-endian limbs: limbs_[0] is least significant.
+  std::array<uint64_t, 4> limbs_{};
+};
+
+}  // namespace pevm
+
+template <>
+struct std::hash<pevm::U256> {
+  size_t operator()(const pevm::U256& v) const { return v.HashValue(); }
+};
+
+#endif  // SRC_SUPPORT_U256_H_

@@ -1,0 +1,34 @@
+#include "src/support/zipf.h"
+
+#include <cmath>
+
+namespace pevm {
+
+// Following W. Hörmann & G. Derflinger, "Rejection-inversion to generate
+// variates from monotone discrete distributions" (1996); the same scheme
+// std::discrete-free Zipf samplers (e.g. Apache commons-math) use.
+ZipfDistribution::ZipfDistribution(uint64_t n, double s) : n_(n), s_(s) {
+  h_imax_ = H(static_cast<double>(n) + 0.5);
+  h_x1_ = H(1.5) - 1.0;
+  s_threshold_ = 2.0 - HInverse(H(2.5) - Pmf(2));
+}
+
+double ZipfDistribution::H(double x) const {
+  if (s_ == 1.0) {
+    return std::log(x);
+  }
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfDistribution::HInverse(double u) const {
+  if (s_ == 1.0) {
+    return std::exp(u);
+  }
+  return std::pow(1.0 + u * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+double ZipfDistribution::Pmf(uint64_t k) const {
+  return std::pow(static_cast<double>(k), -s_);
+}
+
+}  // namespace pevm

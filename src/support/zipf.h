@@ -1,0 +1,52 @@
+// Bounded Zipf(s, n) sampler using Hörmann's rejection-inversion method, so
+// sampling stays O(1) even for n in the hundreds of millions (the paper's
+// hot-spot measurements cover 10M contracts / 200M storage slots).
+#ifndef SRC_SUPPORT_ZIPF_H_
+#define SRC_SUPPORT_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+
+namespace pevm {
+
+class ZipfDistribution {
+ public:
+  // P(X = k) ∝ 1 / k^s for k in [1, n]. Requires n >= 1 and s > 0, s != 1 is
+  // not required (the helper handles the s == 1 harmonic case).
+  ZipfDistribution(uint64_t n, double s);
+
+  // Samples a rank in [1, n]; rank 1 is the hottest item.
+  template <typename Rng>
+  uint64_t operator()(Rng& rng) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    while (true) {
+      double u = h_imax_ + uniform(rng) * (h_x1_ - h_imax_);
+      double x = HInverse(u);
+      uint64_t k = static_cast<uint64_t>(x + 0.5);
+      if (k < 1) {
+        k = 1;
+      }
+      if (k > n_) {
+        k = n_;
+      }
+      if (k - x <= s_threshold_ || u >= H(static_cast<double>(k) + 0.5) - Pmf(k)) {
+        return k;
+      }
+    }
+  }
+
+ private:
+  double H(double x) const;
+  double HInverse(double u) const;
+  double Pmf(uint64_t k) const;
+
+  uint64_t n_;
+  double s_;
+  double h_imax_;
+  double h_x1_;
+  double s_threshold_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_SUPPORT_ZIPF_H_

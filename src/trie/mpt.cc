@@ -1,0 +1,374 @@
+#include "src/trie/mpt.h"
+
+#include <array>
+#include <cassert>
+#include <vector>
+
+#include "src/support/rlp.h"
+
+namespace pevm {
+namespace {
+
+// Converts a byte key into one nibble per element (high nibble first).
+Bytes ToNibbles(BytesView key) {
+  Bytes out;
+  out.reserve(key.size() * 2);
+  for (uint8_t b : key) {
+    out.push_back(b >> 4);
+    out.push_back(b & 0xf);
+  }
+  return out;
+}
+
+// Hex-prefix encoding (yellow paper appendix C).
+Bytes HexPrefix(BytesView nibbles, bool is_leaf) {
+  Bytes out;
+  uint8_t flag = is_leaf ? 2 : 0;
+  bool odd = nibbles.size() % 2 != 0;
+  size_t i = 0;
+  if (odd) {
+    out.push_back(static_cast<uint8_t>(((flag | 1) << 4) | nibbles[0]));
+    i = 1;
+  } else {
+    out.push_back(static_cast<uint8_t>(flag << 4));
+  }
+  for (; i + 1 < nibbles.size() + 1 && i < nibbles.size(); i += 2) {
+    out.push_back(static_cast<uint8_t>((nibbles[i] << 4) | nibbles[i + 1]));
+  }
+  return out;
+}
+
+size_t CommonPrefix(BytesView a, BytesView b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) {
+    ++i;
+  }
+  return i;
+}
+
+}  // namespace
+
+struct MerklePatriciaTrie::Node {
+  enum class Type { kLeaf, kExtension, kBranch };
+
+  explicit Node(Type t) : type(t) {}
+
+  Type type;
+  Bytes path;   // Nibble path for leaf/extension nodes.
+  Bytes value;  // Leaf value, or the value stored at a branch.
+  std::array<std::unique_ptr<Node>, 16> children;  // Branch children.
+  std::unique_ptr<Node> child;                     // Extension child.
+};
+
+namespace {
+
+using Node = MerklePatriciaTrie::Node;
+using Type = Node::Type;
+
+std::unique_ptr<Node> MakeLeaf(BytesView nibbles, BytesView value) {
+  auto n = std::make_unique<Node>(Type::kLeaf);
+  n->path.assign(nibbles.begin(), nibbles.end());
+  n->value.assign(value.begin(), value.end());
+  return n;
+}
+
+// Inserts into `node` (which may be null) and returns the new subtree root.
+// Sets `*replaced` if an existing key's value was overwritten.
+std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, BytesView value,
+                             bool* replaced) {
+  if (node == nullptr) {
+    return MakeLeaf(nibbles, value);
+  }
+  switch (node->type) {
+    case Type::kBranch: {
+      if (nibbles.empty()) {
+        *replaced = !node->value.empty();
+        node->value.assign(value.begin(), value.end());
+        return node;
+      }
+      uint8_t idx = nibbles[0];
+      node->children[idx] =
+          Insert(std::move(node->children[idx]), nibbles.subspan(1), value, replaced);
+      return node;
+    }
+    case Type::kLeaf: {
+      size_t cp = CommonPrefix(node->path, nibbles);
+      if (cp == node->path.size() && cp == nibbles.size()) {
+        *replaced = true;
+        node->value.assign(value.begin(), value.end());
+        return node;
+      }
+      // Split into a branch (possibly under an extension for the shared prefix).
+      auto branch = std::make_unique<Node>(Type::kBranch);
+      BytesView old_rest = BytesView(node->path).subspan(cp);
+      if (old_rest.empty()) {
+        branch->value = node->value;
+      } else {
+        branch->children[old_rest[0]] = MakeLeaf(old_rest.subspan(1), node->value);
+      }
+      BytesView new_rest = nibbles.subspan(cp);
+      if (new_rest.empty()) {
+        branch->value.assign(value.begin(), value.end());
+      } else {
+        branch->children[new_rest[0]] = MakeLeaf(new_rest.subspan(1), value);
+      }
+      if (cp == 0) {
+        return branch;
+      }
+      auto ext = std::make_unique<Node>(Type::kExtension);
+      ext->path.assign(nibbles.begin(), nibbles.begin() + static_cast<long>(cp));
+      ext->child = std::move(branch);
+      return ext;
+    }
+    case Type::kExtension: {
+      size_t cp = CommonPrefix(node->path, nibbles);
+      if (cp == node->path.size()) {
+        node->child = Insert(std::move(node->child), nibbles.subspan(cp), value, replaced);
+        return node;
+      }
+      // Diverges inside the extension path: split it.
+      auto branch = std::make_unique<Node>(Type::kBranch);
+      // Remainder of the existing extension (after cp and the branch nibble).
+      uint8_t old_nib = node->path[cp];
+      Bytes old_tail(node->path.begin() + static_cast<long>(cp) + 1, node->path.end());
+      if (old_tail.empty()) {
+        branch->children[old_nib] = std::move(node->child);
+      } else {
+        auto sub = std::make_unique<Node>(Type::kExtension);
+        sub->path = std::move(old_tail);
+        sub->child = std::move(node->child);
+        branch->children[old_nib] = std::move(sub);
+      }
+      BytesView new_rest = nibbles.subspan(cp);
+      if (new_rest.empty()) {
+        branch->value.assign(value.begin(), value.end());
+      } else {
+        branch->children[new_rest[0]] = MakeLeaf(new_rest.subspan(1), value);
+      }
+      if (cp == 0) {
+        return branch;
+      }
+      auto ext = std::make_unique<Node>(Type::kExtension);
+      ext->path.assign(nibbles.begin(), nibbles.begin() + static_cast<long>(cp));
+      ext->child = std::move(branch);
+      return ext;
+    }
+  }
+  return node;  // Unreachable.
+}
+
+// Rebuilds the canonical form after a deletion left `node` possibly
+// degenerate (an extension whose child is a leaf/extension, or a branch with
+// a single remaining slot).
+std::unique_ptr<Node> Canonicalize(std::unique_ptr<Node> node) {
+  if (node == nullptr) {
+    return nullptr;
+  }
+  if (node->type == Type::kExtension) {
+    Node* child = node->child.get();
+    if (child == nullptr) {
+      return nullptr;
+    }
+    if (child->type == Type::kLeaf) {
+      // extension(p) + leaf(q) => leaf(p ++ q).
+      child->path.insert(child->path.begin(), node->path.begin(), node->path.end());
+      return std::move(node->child);
+    }
+    if (child->type == Type::kExtension) {
+      child->path.insert(child->path.begin(), node->path.begin(), node->path.end());
+      return std::move(node->child);
+    }
+    return node;  // extension + branch: already canonical.
+  }
+  if (node->type == Type::kBranch) {
+    int live = -1;
+    int count = 0;
+    for (int i = 0; i < 16; ++i) {
+      if (node->children[static_cast<size_t>(i)] != nullptr) {
+        live = i;
+        ++count;
+      }
+    }
+    if (count == 0) {
+      if (node->value.empty()) {
+        return nullptr;
+      }
+      // Only the branch value remains: a leaf with an empty path.
+      auto leaf = std::make_unique<Node>(Type::kLeaf);
+      leaf->value = std::move(node->value);
+      return leaf;
+    }
+    if (count == 1 && node->value.empty()) {
+      // One child left: absorb the branch nibble into it.
+      std::unique_ptr<Node> child = std::move(node->children[static_cast<size_t>(live)]);
+      uint8_t nib = static_cast<uint8_t>(live);
+      if (child->type == Type::kBranch) {
+        auto ext = std::make_unique<Node>(Type::kExtension);
+        ext->path = {nib};
+        ext->child = std::move(child);
+        return ext;
+      }
+      child->path.insert(child->path.begin(), nib);
+      return child;  // Leaf or extension: path prefix grows by the nibble.
+    }
+    return node;
+  }
+  return node;
+}
+
+// Removes `nibbles` from the subtree; sets *removed when the key existed.
+std::unique_ptr<Node> Remove(std::unique_ptr<Node> node, BytesView nibbles, bool* removed) {
+  if (node == nullptr) {
+    return nullptr;
+  }
+  switch (node->type) {
+    case Type::kLeaf: {
+      if (nibbles.size() == node->path.size() &&
+          std::equal(nibbles.begin(), nibbles.end(), node->path.begin())) {
+        *removed = true;
+        return nullptr;
+      }
+      return node;
+    }
+    case Type::kExtension: {
+      if (nibbles.size() < node->path.size() ||
+          !std::equal(node->path.begin(), node->path.end(), nibbles.begin())) {
+        return node;
+      }
+      node->child = Remove(std::move(node->child), nibbles.subspan(node->path.size()), removed);
+      if (!*removed) {
+        return node;
+      }
+      return Canonicalize(std::move(node));
+    }
+    case Type::kBranch: {
+      if (nibbles.empty()) {
+        if (node->value.empty()) {
+          return node;
+        }
+        node->value.clear();
+        *removed = true;
+        return Canonicalize(std::move(node));
+      }
+      uint8_t idx = nibbles[0];
+      node->children[idx] = Remove(std::move(node->children[idx]), nibbles.subspan(1), removed);
+      if (!*removed) {
+        return node;
+      }
+      return Canonicalize(std::move(node));
+    }
+  }
+  return node;
+}
+
+Bytes Encode(const Node* node);
+
+// RLP item that refers to a child: the node's encoding if shorter than 32
+// bytes, otherwise the RLP of its keccak hash.
+Bytes Ref(const Node* node) {
+  Bytes enc = Encode(node);
+  if (enc.size() < 32) {
+    return enc;
+  }
+  Hash256 h = Keccak256(enc);
+  return RlpEncodeBytes(BytesView(h.data(), h.size()));
+}
+
+Bytes Encode(const Node* node) {
+  std::vector<Bytes> items;
+  switch (node->type) {
+    case Type::kLeaf: {
+      items.push_back(RlpEncodeBytes(HexPrefix(node->path, /*is_leaf=*/true)));
+      items.push_back(RlpEncodeBytes(node->value));
+      break;
+    }
+    case Type::kExtension: {
+      items.push_back(RlpEncodeBytes(HexPrefix(node->path, /*is_leaf=*/false)));
+      items.push_back(Ref(node->child.get()));
+      break;
+    }
+    case Type::kBranch: {
+      for (const auto& child : node->children) {
+        items.push_back(child ? Ref(child.get()) : RlpEncodeBytes({}));
+      }
+      items.push_back(RlpEncodeBytes(node->value));
+      break;
+    }
+  }
+  return RlpEncodeList(items);
+}
+
+}  // namespace
+
+MerklePatriciaTrie::MerklePatriciaTrie() = default;
+MerklePatriciaTrie::~MerklePatriciaTrie() = default;
+MerklePatriciaTrie::MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept = default;
+MerklePatriciaTrie& MerklePatriciaTrie::operator=(MerklePatriciaTrie&&) noexcept = default;
+
+void MerklePatriciaTrie::Put(BytesView key, BytesView value) {
+  assert(!value.empty());
+  Bytes nibbles = ToNibbles(key);
+  bool replaced = false;
+  root_ = Insert(std::move(root_), nibbles, value, &replaced);
+  if (!replaced) {
+    ++size_;
+  }
+}
+
+bool MerklePatriciaTrie::Delete(BytesView key) {
+  Bytes nibbles = ToNibbles(key);
+  bool removed = false;
+  root_ = Remove(std::move(root_), nibbles, &removed);
+  if (removed) {
+    --size_;
+  }
+  return removed;
+}
+
+std::optional<Bytes> MerklePatriciaTrie::Get(BytesView key) const {
+  Bytes nibbles = ToNibbles(key);
+  const Node* node = root_.get();
+  BytesView rest = nibbles;
+  while (node != nullptr) {
+    switch (node->type) {
+      case Node::Type::kLeaf: {
+        if (rest.size() == node->path.size() &&
+            std::equal(rest.begin(), rest.end(), node->path.begin())) {
+          return node->value;
+        }
+        return std::nullopt;
+      }
+      case Node::Type::kExtension: {
+        if (rest.size() < node->path.size() ||
+            !std::equal(node->path.begin(), node->path.end(), rest.begin())) {
+          return std::nullopt;
+        }
+        rest = rest.subspan(node->path.size());
+        node = node->child.get();
+        break;
+      }
+      case Node::Type::kBranch: {
+        if (rest.empty()) {
+          if (node->value.empty()) {
+            return std::nullopt;
+          }
+          return node->value;
+        }
+        node = node->children[rest[0]].get();
+        rest = rest.subspan(1);
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Hash256 MerklePatriciaTrie::RootHash() const {
+  if (root_ == nullptr) {
+    return Keccak256(RlpEncodeBytes({}));  // 0x56e81f17... — the canonical empty root.
+  }
+  return Keccak256(Encode(root_.get()));
+}
+
+}  // namespace pevm

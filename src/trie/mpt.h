@@ -1,0 +1,56 @@
+// In-memory Merkle Patricia Trie (yellow paper appendix D): hex-prefix key
+// encoding, RLP node bodies, keccak-256 node references. Used as the
+// correctness oracle (§6.2 of the paper): two world states are equal iff
+// their MPT roots match.
+//
+// Supports insertion, lookup and deletion (with full node re-canonicalization
+// on delete, so the root stays content-addressed). The executors only insert
+// — the root is recomputed from full state snapshots — but deletion completes
+// the substrate for downstream users (cleared accounts/slots).
+#ifndef SRC_TRIE_MPT_H_
+#define SRC_TRIE_MPT_H_
+
+#include <memory>
+#include <optional>
+
+#include "src/support/bytes.h"
+#include "src/support/keccak.h"
+
+namespace pevm {
+
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie();
+  ~MerklePatriciaTrie();
+  MerklePatriciaTrie(MerklePatriciaTrie&&) noexcept;
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&&) noexcept;
+  MerklePatriciaTrie(const MerklePatriciaTrie&) = delete;
+  MerklePatriciaTrie& operator=(const MerklePatriciaTrie&) = delete;
+
+  // Inserts (or replaces) `key -> value`. Empty values are rejected (they
+  // would mean deletion in Ethereum; callers simply skip empty slots).
+  void Put(BytesView key, BytesView value);
+
+  // Returns the stored value, if any.
+  std::optional<Bytes> Get(BytesView key) const;
+
+  // Removes `key`; returns false when it was not present. The resulting root
+  // equals that of a trie built without the key.
+  bool Delete(BytesView key);
+
+  // Keccak-256 root. The empty trie hashes to
+  // keccak(rlp("")) = 0x56e81f17...63b421, matching Ethereum.
+  Hash256 RootHash() const;
+
+  size_t size() const { return size_; }
+
+  struct Node;  // Exposed for the implementation file's free helpers.
+
+ private:
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_TRIE_MPT_H_

@@ -1,0 +1,76 @@
+#include "src/workload/assembler.h"
+
+#include <cassert>
+#include <cstdlib>
+
+#include "src/support/keccak.h"
+
+namespace pevm {
+
+uint32_t Selector(std::string_view signature) {
+  Bytes data(signature.begin(), signature.end());
+  Hash256 h = Keccak256(data);
+  return (static_cast<uint32_t>(h[0]) << 24) | (static_cast<uint32_t>(h[1]) << 16) |
+         (static_cast<uint32_t>(h[2]) << 8) | static_cast<uint32_t>(h[3]);
+}
+
+Assembler& Assembler::Op(Opcode op) {
+  code_.push_back(static_cast<uint8_t>(op));
+  return *this;
+}
+
+Assembler& Assembler::Push(const U256& value) {
+  unsigned len = value.ByteLength();
+  code_.push_back(static_cast<uint8_t>(0x5f + len));  // PUSH0..PUSH32.
+  std::array<uint8_t, 32> be = value.ToBigEndian();
+  code_.insert(code_.end(), be.begin() + (32 - len), be.end());
+  return *this;
+}
+
+Assembler& Assembler::PushSelector(uint32_t selector) {
+  code_.push_back(0x63);  // PUSH4.
+  code_.push_back(static_cast<uint8_t>(selector >> 24));
+  code_.push_back(static_cast<uint8_t>(selector >> 16));
+  code_.push_back(static_cast<uint8_t>(selector >> 8));
+  code_.push_back(static_cast<uint8_t>(selector));
+  return *this;
+}
+
+Assembler& Assembler::Label(std::string_view name) {
+  assert(code_.size() <= 0xffff);
+  auto [it, inserted] = labels_.emplace(std::string(name), static_cast<uint16_t>(code_.size()));
+  (void)it;
+  assert(inserted && "label bound twice");
+  return Op(Opcode::kJumpdest);
+}
+
+Assembler& Assembler::PushPlaceholder(std::string_view label) {
+  code_.push_back(0x61);  // PUSH2.
+  fixups_.emplace_back(code_.size(), std::string(label));
+  code_.push_back(0);
+  code_.push_back(0);
+  return *this;
+}
+
+Assembler& Assembler::Jump(std::string_view label) {
+  return PushPlaceholder(label).Op(Opcode::kJump);
+}
+
+Assembler& Assembler::JumpI(std::string_view label) {
+  return PushPlaceholder(label).Op(Opcode::kJumpi);
+}
+
+Bytes Assembler::Build() const {
+  Bytes out = code_;
+  for (const auto& [pos, label] : fixups_) {
+    auto it = labels_.find(label);
+    if (it == labels_.end()) {
+      std::abort();  // Unbound label: a contract-authoring bug.
+    }
+    out[pos] = static_cast<uint8_t>(it->second >> 8);
+    out[pos + 1] = static_cast<uint8_t>(it->second & 0xff);
+  }
+  return out;
+}
+
+}  // namespace pevm

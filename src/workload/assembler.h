@@ -1,0 +1,54 @@
+// A tiny EVM assembler with label fixups — the workload contracts (ERC-20,
+// AMM, crowdfund) are written directly in EVM assembly since this
+// reproduction has no Solidity compiler.
+#ifndef SRC_WORKLOAD_ASSEMBLER_H_
+#define SRC_WORKLOAD_ASSEMBLER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/evm/opcode.h"
+#include "src/support/bytes.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+// 4-byte ABI function selector: first 4 bytes of keccak(signature),
+// e.g. Selector("transfer(address,uint256)") == 0xa9059cbb.
+uint32_t Selector(std::string_view signature);
+
+class Assembler {
+ public:
+  // Emits a raw opcode.
+  Assembler& Op(Opcode op);
+  // Emits the minimal PUSHn for `value` (PUSH0 for zero).
+  Assembler& Push(const U256& value);
+  Assembler& Push(uint64_t value) { return Push(U256(value)); }
+  Assembler& Push(const Address& a) { return Push(U256::FromAddress(a)); }
+  // Emits PUSH4 <selector>.
+  Assembler& PushSelector(uint32_t selector);
+
+  // Binds `name` here and emits a JUMPDEST.
+  Assembler& Label(std::string_view name);
+  // PUSH2 <label> JUMP / JUMPI (labels may be bound later).
+  Assembler& Jump(std::string_view label);
+  Assembler& JumpI(std::string_view label);
+
+  // Resolves all fixups; aborts if a referenced label was never bound.
+  Bytes Build() const;
+
+  size_t size() const { return code_.size(); }
+
+ private:
+  Assembler& PushPlaceholder(std::string_view label);
+
+  Bytes code_;
+  std::unordered_map<std::string, uint16_t> labels_;
+  std::vector<std::pair<size_t, std::string>> fixups_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_WORKLOAD_ASSEMBLER_H_

@@ -1,0 +1,294 @@
+#include "src/workload/contracts.h"
+
+#include "src/workload/assembler.h"
+
+namespace pevm {
+namespace {
+
+// Appends a 32-byte big-endian ABI word.
+void AppendWord(Bytes& out, const U256& v) {
+  std::array<uint8_t, 32> be = v.ToBigEndian();
+  out.insert(out.end(), be.begin(), be.end());
+}
+
+Bytes AbiCall(uint32_t selector, std::initializer_list<U256> args) {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(selector >> 24));
+  out.push_back(static_cast<uint8_t>(selector >> 16));
+  out.push_back(static_cast<uint8_t>(selector >> 8));
+  out.push_back(static_cast<uint8_t>(selector));
+  for (const U256& a : args) {
+    AppendWord(out, a);
+  }
+  return out;
+}
+
+// --- Shared assembly idioms. Stack comments list bottom..top. ---
+
+// Consumes the mapping key on top of the stack, leaves keccak(key ++ slot).
+// Scribbles over memory [0, 0x40).
+void EmitMapSlot(Assembler& a, uint64_t slot) {
+  a.Push(0).Op(Opcode::kMstore);              // mem[0] = key
+  a.Push(slot).Push(0x20).Op(Opcode::kMstore);  // mem[0x20] = slot
+  a.Push(0x40).Push(0).Op(Opcode::kSha3);       // keccak(mem[0..0x40))
+}
+
+// Consumes [owner, spender] (spender on top), leaves the two-level mapping
+// slot keccak(spender ++ keccak(owner ++ slot)).
+void EmitMapSlot2(Assembler& a, uint64_t slot) {
+  a.Op(Opcode::kSwap1);  // [spender, owner]
+  EmitMapSlot(a, slot);  // [spender, h1]
+  a.Op(Opcode::kSwap1);  // [h1, spender]
+  a.Push(0).Op(Opcode::kMstore);               // mem[0] = spender
+  a.Push(0x20).Op(Opcode::kMstore);            // mem[0x20] = h1
+  a.Push(0x40).Push(0).Op(Opcode::kSha3);
+}
+
+void EmitReturnTrue(Assembler& a) {
+  a.Push(1).Push(0).Op(Opcode::kMstore);
+  a.Push(0x20).Push(0).Op(Opcode::kReturn);
+}
+
+// Returns the top-of-stack word.
+void EmitReturnTop(Assembler& a) {
+  a.Push(0).Op(Opcode::kMstore);
+  a.Push(0x20).Push(0).Op(Opcode::kReturn);
+}
+
+// The _transfer(from, to, amount) body (Figure 4 lines 8-12): expects
+// [from, to, amount] on top of the stack and consumes all three. Jumps to
+// "revert" when the sender balance is insufficient (the paper's line-9
+// constraint-guard site).
+void EmitTransferBody(Assembler& a) {
+  a.Op(Opcode::kDup3);       // [f,t,a,f]
+  EmitMapSlot(a, 0);         // [f,t,a,slotF]
+  a.Op(Opcode::kDup1).Op(Opcode::kSload);  // [f,t,a,slotF,fromBal]
+  a.Op(Opcode::kDup1).Op(Opcode::kDup4);   // [f,t,a,slotF,fromBal,fromBal,a]
+  a.Op(Opcode::kGt);         // a > fromBal -> insufficient
+  a.JumpI("revert");         // [f,t,a,slotF,fromBal]
+  a.Op(Opcode::kDup3);       // [f,t,a,slotF,fromBal,a]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSub);   // [f,t,a,slotF,fromBal-a]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSstore);  // balances[from] = fromBal-a; [f,t,a]
+  a.Op(Opcode::kDup2);       // [f,t,a,t]
+  EmitMapSlot(a, 0);         // [f,t,a,slotT]
+  a.Op(Opcode::kDup1).Op(Opcode::kSload);  // [f,t,a,slotT,toBal]
+  a.Op(Opcode::kDup3).Op(Opcode::kAdd);    // [f,t,a,slotT,toBal+a]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSstore);  // balances[to] += a; [f,t,a]
+  a.Op(Opcode::kPop).Op(Opcode::kPop).Op(Opcode::kPop);
+}
+
+// Dispatcher prologue: leaves the 4-byte selector on the stack.
+void EmitSelectorLoad(Assembler& a) {
+  a.Push(0).Op(Opcode::kCalldataload).Push(0xE0).Op(Opcode::kShr);
+}
+
+void EmitDispatchCase(Assembler& a, std::string_view signature, std::string_view label) {
+  a.Op(Opcode::kDup1).PushSelector(Selector(signature)).Op(Opcode::kEq).JumpI(label);
+}
+
+}  // namespace
+
+Bytes BuildErc20Code() {
+  Assembler a;
+  EmitSelectorLoad(a);
+  EmitDispatchCase(a, "transfer(address,uint256)", "transfer");
+  EmitDispatchCase(a, "transferFrom(address,address,uint256)", "transferFrom");
+  EmitDispatchCase(a, "approve(address,uint256)", "approve");
+  EmitDispatchCase(a, "balanceOf(address)", "balanceOf");
+  EmitDispatchCase(a, "mint(address,uint256)", "mint");
+  EmitDispatchCase(a, "totalSupply()", "totalSupply");
+  a.Jump("revert");
+
+  a.Label("transfer").Op(Opcode::kPop);
+  a.Op(Opcode::kCaller);                       // [from]
+  a.Push(4).Op(Opcode::kCalldataload);         // [from, to]
+  a.Push(0x24).Op(Opcode::kCalldataload);      // [from, to, amount]
+  EmitTransferBody(a);
+  EmitReturnTrue(a);
+
+  a.Label("transferFrom").Op(Opcode::kPop);
+  a.Push(4).Op(Opcode::kCalldataload);         // [from]
+  a.Op(Opcode::kCaller);                       // [from, spender]
+  EmitMapSlot2(a, 1);                          // [slotA]
+  a.Op(Opcode::kDup1).Op(Opcode::kSload);      // [slotA, allow]
+  a.Push(0x44).Op(Opcode::kCalldataload);      // [slotA, allow, amount]
+  a.Op(Opcode::kDup1).Op(Opcode::kDup3);       // [slotA, allow, amount, amount, allow]
+  a.Op(Opcode::kLt);                           // allow < amount -> insufficient
+  a.JumpI("revert");                           // [slotA, allow, amount]
+  a.Op(Opcode::kSwap1);                        // [slotA, amount, allow]
+  a.Op(Opcode::kDup2);                         // [slotA, amount, allow, amount]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSub);       // [slotA, amount, allow-amount]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSwap2);     // [allow-amount, amount, slotA]... see below
+  // Stack gymnastics check: [slotA, amount, newAllow] -SWAP1-> [slotA, newAllow,
+  // amount] -SWAP2-> [amount, newAllow, slotA]; SSTORE(key=slotA, value=newAllow).
+  a.Op(Opcode::kSstore);                       // [amount]
+  a.Push(4).Op(Opcode::kCalldataload);         // [amount, from]
+  a.Push(0x24).Op(Opcode::kCalldataload);      // [amount, from, to]
+  a.Op(Opcode::kDup3);                         // [amount, from, to, amount]
+  EmitTransferBody(a);                         // [amount]
+  a.Op(Opcode::kPop);
+  EmitReturnTrue(a);
+
+  a.Label("approve").Op(Opcode::kPop);
+  a.Push(0x24).Op(Opcode::kCalldataload);      // [amount]
+  a.Op(Opcode::kCaller);                       // [amount, owner]
+  a.Push(4).Op(Opcode::kCalldataload);         // [amount, owner, spender]
+  EmitMapSlot2(a, 1);                          // [amount, slotA]
+  a.Op(Opcode::kSstore);                       // allowances[owner][spender] = amount
+  EmitReturnTrue(a);
+
+  a.Label("balanceOf").Op(Opcode::kPop);
+  a.Push(4).Op(Opcode::kCalldataload);         // [owner]
+  EmitMapSlot(a, 0);                           // [slot]
+  a.Op(Opcode::kSload);                        // [bal]
+  EmitReturnTop(a);
+
+  a.Label("mint").Op(Opcode::kPop);
+  a.Push(0x24).Op(Opcode::kCalldataload);      // [amount]
+  a.Push(4).Op(Opcode::kCalldataload);         // [amount, to]
+  EmitMapSlot(a, 0);                           // [amount, slotT]
+  a.Op(Opcode::kDup1).Op(Opcode::kSload);      // [amount, slotT, bal]
+  a.Op(Opcode::kDup3).Op(Opcode::kAdd);        // [amount, slotT, bal+amount]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSstore);    // [amount]
+  a.Push(kErc20TotalSupplySlot).Op(Opcode::kSload);  // [amount, ts]
+  a.Op(Opcode::kAdd);                          // [ts+amount]
+  a.Push(kErc20TotalSupplySlot).Op(Opcode::kSstore);
+  EmitReturnTrue(a);
+
+  a.Label("totalSupply").Op(Opcode::kPop);
+  a.Push(kErc20TotalSupplySlot).Op(Opcode::kSload);
+  EmitReturnTop(a);
+
+  a.Label("revert");
+  a.Push(0).Push(0).Op(Opcode::kRevert);
+  return a.Build();
+}
+
+namespace {
+
+// The directional swap body. Enters with [amount_in]; pulls token-in via
+// transferFrom, pays token-out via transfer, updates reserves, returns
+// amount_out. Constant-product pricing with the Uniswap 0.3% fee.
+void EmitSwapBody(Assembler& a, uint64_t tin_slot, uint64_t tout_slot, uint64_t rin_slot,
+                  uint64_t rout_slot) {
+  a.Push(rin_slot).Op(Opcode::kSload);    // [in, rIn]
+  a.Push(rout_slot).Op(Opcode::kSload);   // [in, rIn, rOut]
+  a.Op(Opcode::kDup3).Push(997).Op(Opcode::kMul);   // [in, rIn, rOut, inFee]
+  a.Op(Opcode::kDup1).Op(Opcode::kDup3).Op(Opcode::kMul);  // [in,rIn,rOut,inFee,num]
+  a.Op(Opcode::kSwap1);                   // [in,rIn,rOut,num,inFee]
+  a.Op(Opcode::kDup4).Push(1000).Op(Opcode::kMul);  // [..,num,inFee,rIn*1000]
+  a.Op(Opcode::kAdd);                     // [in,rIn,rOut,num,denom]
+  a.Op(Opcode::kSwap1).Op(Opcode::kDiv);  // [in,rIn,rOut,out]
+  a.Op(Opcode::kDup1).Op(Opcode::kDup3).Op(Opcode::kGt);  // rOut > out ?
+  a.Op(Opcode::kIszero).JumpI("revert");  // [in,rIn,rOut,out]
+  // reserves[in] = rIn + in
+  a.Op(Opcode::kDup3).Op(Opcode::kDup5).Op(Opcode::kAdd);  // [..,out,rIn+in]
+  a.Push(rin_slot).Op(Opcode::kSstore);   // [in,rIn,rOut,out]
+  // reserves[out] = rOut - out
+  a.Op(Opcode::kDup2).Op(Opcode::kDup2);  // [..,out,rOut,out]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSub);  // [..,out,rOut-out]
+  a.Push(rout_slot).Op(Opcode::kSstore);  // [in,rIn,rOut,out]
+
+  // token_in.transferFrom(CALLER, ADDRESS, in)
+  a.Push(U256::Shl(224, U256(Selector("transferFrom(address,address,uint256)"))));
+  a.Push(0x80).Op(Opcode::kMstore);
+  a.Op(Opcode::kCaller).Push(0x84).Op(Opcode::kMstore);
+  a.Op(Opcode::kAddress).Push(0xA4).Op(Opcode::kMstore);
+  a.Op(Opcode::kDup4).Push(0xC4).Op(Opcode::kMstore);  // amount = in
+  a.Push(0x20).Push(0x160).Push(0x64).Push(0x80).Push(0);
+  a.Push(tin_slot).Op(Opcode::kSload);    // token-in address
+  a.Op(Opcode::kGas).Op(Opcode::kCall);   // [in,rIn,rOut,out,ok]
+  a.Op(Opcode::kIszero).JumpI("revert");  // [in,rIn,rOut,out]
+
+  // token_out.transfer(CALLER, out)
+  a.Push(U256::Shl(224, U256(Selector("transfer(address,uint256)"))));
+  a.Push(0x80).Op(Opcode::kMstore);
+  a.Op(Opcode::kCaller).Push(0x84).Op(Opcode::kMstore);
+  a.Op(Opcode::kDup1).Push(0xA4).Op(Opcode::kMstore);  // amount = out
+  a.Push(0x20).Push(0x160).Push(0x44).Push(0x80).Push(0);
+  a.Push(tout_slot).Op(Opcode::kSload);   // token-out address
+  a.Op(Opcode::kGas).Op(Opcode::kCall);
+  a.Op(Opcode::kIszero).JumpI("revert");  // [in,rIn,rOut,out]
+
+  a.Push(0).Op(Opcode::kMstore);          // mem[0] = out; [in,rIn,rOut]
+  a.Op(Opcode::kPop).Op(Opcode::kPop).Op(Opcode::kPop);
+  a.Push(0x20).Push(0).Op(Opcode::kReturn);
+}
+
+}  // namespace
+
+Bytes BuildAmmCode() {
+  Assembler a;
+  EmitSelectorLoad(a);
+  EmitDispatchCase(a, "swap(uint256,bool)", "swap");
+  a.Jump("revert");
+
+  a.Label("swap").Op(Opcode::kPop);
+  a.Push(4).Op(Opcode::kCalldataload);     // [in]
+  a.Push(0x24).Op(Opcode::kCalldataload);  // [in, zero_for_one]
+  a.JumpI("zero_for_one");
+  // direction 1 -> 0: token1 in, token0 out.
+  EmitSwapBody(a, kAmmToken1Slot, kAmmToken0Slot, kAmmReserve1Slot, kAmmReserve0Slot);
+  a.Label("zero_for_one");
+  EmitSwapBody(a, kAmmToken0Slot, kAmmToken1Slot, kAmmReserve0Slot, kAmmReserve1Slot);
+
+  a.Label("revert");
+  a.Push(0).Push(0).Op(Opcode::kRevert);
+  return a.Build();
+}
+
+Bytes BuildCrowdfundCode() {
+  Assembler a;
+  EmitSelectorLoad(a);
+  EmitDispatchCase(a, "contribute()", "contribute");
+  a.Jump("revert");
+
+  a.Label("contribute").Op(Opcode::kPop);
+  a.Op(Opcode::kCallvalue);                               // [v]
+  a.Op(Opcode::kDup1);                                    // [v, v]
+  a.Push(kCrowdfundTotalSlot).Op(Opcode::kSload);         // [v, v, total]
+  a.Op(Opcode::kAdd);                                     // [v, v+total]
+  a.Push(kCrowdfundTotalSlot).Op(Opcode::kSstore);        // [v]
+  a.Op(Opcode::kCaller);                                  // [v, caller]
+  EmitMapSlot(a, 1);                                      // [v, slotC]
+  a.Op(Opcode::kDup1).Op(Opcode::kSload);                 // [v, slotC, cur]
+  a.Op(Opcode::kDup3).Op(Opcode::kAdd);                   // [v, slotC, cur+v]
+  a.Op(Opcode::kSwap1).Op(Opcode::kSstore);               // [v]
+  a.Op(Opcode::kPop);
+  EmitReturnTrue(a);
+
+  a.Label("revert");
+  a.Push(0).Push(0).Op(Opcode::kRevert);
+  return a.Build();
+}
+
+Bytes Erc20TransferCall(const Address& to, const U256& amount) {
+  return AbiCall(Selector("transfer(address,uint256)"), {U256::FromAddress(to), amount});
+}
+
+Bytes Erc20TransferFromCall(const Address& from, const Address& to, const U256& amount) {
+  return AbiCall(Selector("transferFrom(address,address,uint256)"),
+                 {U256::FromAddress(from), U256::FromAddress(to), amount});
+}
+
+Bytes Erc20ApproveCall(const Address& spender, const U256& amount) {
+  return AbiCall(Selector("approve(address,uint256)"), {U256::FromAddress(spender), amount});
+}
+
+Bytes Erc20MintCall(const Address& to, const U256& amount) {
+  return AbiCall(Selector("mint(address,uint256)"), {U256::FromAddress(to), amount});
+}
+
+Bytes Erc20BalanceOfCall(const Address& owner) {
+  return AbiCall(Selector("balanceOf(address)"), {U256::FromAddress(owner)});
+}
+
+Bytes Erc20TotalSupplyCall() { return AbiCall(Selector("totalSupply()"), {}); }
+
+Bytes AmmSwapCall(const U256& amount_in, bool zero_for_one) {
+  return AbiCall(Selector("swap(uint256,bool)"), {amount_in, U256(zero_for_one ? 1 : 0)});
+}
+
+Bytes CrowdfundContributeCall() { return AbiCall(Selector("contribute()"), {}); }
+
+}  // namespace pevm

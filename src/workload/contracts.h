@@ -1,0 +1,58 @@
+// Hand-assembled workload contracts mirroring the hot-spot applications the
+// paper identifies (§3.1): an ERC-20 token (9 of Ethereum's top-10 contracts
+// were ERC-20s), a constant-product AMM that moves ERC-20s via inter-contract
+// CALLs (Uniswap-style), and a crowdfund with a single hot accumulator slot.
+//
+// Storage layouts (Solidity conventions):
+//   ERC-20:    slot 0 = balances mapping, slot 1 = allowances mapping,
+//              slot 2 = totalSupply.
+//   AMM:       slot 0 = token0, slot 1 = token1, slot 2 = reserve0,
+//              slot 3 = reserve1.
+//   Crowdfund: slot 0 = total raised, slot 1 = contributions mapping.
+#ifndef SRC_WORKLOAD_CONTRACTS_H_
+#define SRC_WORKLOAD_CONTRACTS_H_
+
+#include "src/support/bytes.h"
+#include "src/support/keccak.h"
+#include "src/support/u256.h"
+
+namespace pevm {
+
+// --- Runtime bytecode. ---
+Bytes BuildErc20Code();
+Bytes BuildAmmCode();
+Bytes BuildCrowdfundCode();
+
+// --- Calldata builders. ---
+Bytes Erc20TransferCall(const Address& to, const U256& amount);
+Bytes Erc20TransferFromCall(const Address& from, const Address& to, const U256& amount);
+Bytes Erc20ApproveCall(const Address& spender, const U256& amount);
+Bytes Erc20MintCall(const Address& to, const U256& amount);
+Bytes Erc20BalanceOfCall(const Address& owner);
+Bytes Erc20TotalSupplyCall();
+// zero_for_one selects the swap direction (token0 -> token1 when true).
+Bytes AmmSwapCall(const U256& amount_in, bool zero_for_one);
+Bytes CrowdfundContributeCall();
+
+// --- Storage-slot helpers (for genesis setup and assertions). ---
+inline U256 Erc20BalanceSlot(const Address& owner) {
+  return MappingSlot(U256::FromAddress(owner), U256(0));
+}
+inline U256 Erc20AllowanceSlot(const Address& owner, const Address& spender) {
+  return MappingSlot2(U256::FromAddress(owner), U256::FromAddress(spender), U256(1));
+}
+inline constexpr uint64_t kErc20TotalSupplySlot = 2;
+
+inline constexpr uint64_t kAmmToken0Slot = 0;
+inline constexpr uint64_t kAmmToken1Slot = 1;
+inline constexpr uint64_t kAmmReserve0Slot = 2;
+inline constexpr uint64_t kAmmReserve1Slot = 3;
+
+inline constexpr uint64_t kCrowdfundTotalSlot = 0;
+inline U256 CrowdfundContributionSlot(const Address& contributor) {
+  return MappingSlot(U256::FromAddress(contributor), U256(1));
+}
+
+}  // namespace pevm
+
+#endif  // SRC_WORKLOAD_CONTRACTS_H_

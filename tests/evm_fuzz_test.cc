@@ -1,0 +1,187 @@
+// Robustness fuzzing: the interpreter must never crash, hang, overrun gas,
+// or behave non-deterministically on arbitrary bytecode — and the SSA
+// builder must tolerate whatever the interpreter survives.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/core/redo.h"
+#include "src/core/ssa_builder.h"
+#include "src/evm/host.h"
+#include "src/evm/interpreter.h"
+#include "src/state/state_view.h"
+
+namespace pevm {
+namespace {
+
+const Address kSelf = Address::FromId(0xF022);
+const Address kCaller = Address::FromId(0xCA11);
+
+Bytes RandomCode(std::mt19937_64& rng, size_t max_len) {
+  size_t len = 1 + rng() % max_len;
+  Bytes code(len);
+  for (auto& b : code) {
+    // Bias toward defined opcodes so executions get past the first byte.
+    switch (rng() % 4) {
+      case 0:
+        b = static_cast<uint8_t>(0x60 + rng() % 16);  // Small pushes.
+        break;
+      case 1:
+        b = static_cast<uint8_t>(rng() % 0x20);  // Arithmetic block.
+        break;
+      case 2:
+        b = static_cast<uint8_t>(0x50 + rng() % 16);  // Memory/storage/flow.
+        break;
+      default:
+        b = static_cast<uint8_t>(rng() & 0xff);  // Anything.
+        break;
+    }
+  }
+  return code;
+}
+
+struct FuzzOutcome {
+  EvmStatus status;
+  int64_t gas_left;
+  Bytes output;
+  uint64_t state_digest;
+  size_t log_entries;
+};
+
+FuzzOutcome RunOnce(const Bytes& code, uint64_t data_seed) {
+  WorldState world;
+  world.SetCode(kSelf, code);
+  world.SetBalance(kSelf, U256(1'000'000));
+  world.SetStorage(kSelf, U256(0), U256(42));
+  StateView view(world);
+  StateViewHost host(view);
+  BlockContext block;
+  TxContext tx{kCaller, U256(1)};
+  SsaBuilder builder;
+  Interpreter interp(host, block, tx, &builder);
+  Message msg;
+  msg.code_address = kSelf;
+  msg.storage_address = kSelf;
+  msg.caller = kCaller;
+  msg.gas = 200'000;
+  std::mt19937_64 rng(data_seed);
+  msg.data.resize(rng() % 68);
+  for (auto& b : msg.data) {
+    b = static_cast<uint8_t>(rng() & 0xff);
+  }
+  EvmResult r = interp.Execute(msg);
+  TxLog log = builder.TakeLog();
+  FuzzOutcome out;
+  out.status = r.status;
+  out.gas_left = r.gas_left;
+  out.output = std::move(r.output);
+  WorldState post = world;
+  post.Apply(view.write_set());
+  out.state_digest = post.Digest();
+  out.log_entries = log.size();
+  return out;
+}
+
+class EvmFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EvmFuzzTest, RandomBytecodeNeverViolatesInvariants) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    Bytes code = RandomCode(rng, 96);
+    uint64_t data_seed = rng();
+    FuzzOutcome a = RunOnce(code, data_seed);
+    // Gas can never go negative or exceed the budget.
+    ASSERT_GE(a.gas_left, 0) << HexEncode(code);
+    ASSERT_LE(a.gas_left, 200'000) << HexEncode(code);
+    // Exceptional halts consume everything.
+    if (IsExceptionalHalt(a.status)) {
+      ASSERT_EQ(a.gas_left, 0) << HexEncode(code);
+    }
+    // Determinism: identical runs produce identical results, state and logs.
+    FuzzOutcome b = RunOnce(code, data_seed);
+    ASSERT_EQ(a.status, b.status) << HexEncode(code);
+    ASSERT_EQ(a.gas_left, b.gas_left) << HexEncode(code);
+    ASSERT_EQ(a.output, b.output) << HexEncode(code);
+    ASSERT_EQ(a.state_digest, b.state_digest) << HexEncode(code);
+    ASSERT_EQ(a.log_entries, b.log_entries) << HexEncode(code);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvmFuzzTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Deeper structured fuzz: random but *valid-ish* storage programs, executed
+// with the SSA builder, then redone against random perturbations — the log
+// must either repair to exactly the re-executed result or decline.
+TEST(EvmFuzzTest, StructuredStoragePrograms) {
+  std::mt19937_64 rng(0xF00D);
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Program: a chain of SLOAD/arithmetic/SSTORE over slots 0..3.
+    Bytes code;
+    std::mt19937_64 prog_rng(rng());
+    auto push1 = [&](uint8_t v) {
+      code.push_back(0x60);
+      code.push_back(v);
+    };
+    int ops = 2 + static_cast<int>(prog_rng() % 6);
+    for (int i = 0; i < ops; ++i) {
+      push1(static_cast<uint8_t>(prog_rng() % 4));  // Slot.
+      code.push_back(0x54);                         // SLOAD.
+      push1(static_cast<uint8_t>(1 + prog_rng() % 9));
+      code.push_back(static_cast<uint8_t>(prog_rng() % 2 == 0 ? 0x01 : 0x03));  // ADD/SUB.
+      push1(static_cast<uint8_t>(prog_rng() % 4));  // Target slot.
+      code.push_back(0x55);                         // SSTORE.
+    }
+    code.push_back(0x00);  // STOP.
+
+    WorldState world;
+    world.SetCode(kSelf, code);
+    for (uint64_t s = 0; s < 4; ++s) {
+      world.SetStorage(kSelf, U256(s), U256(100 + s * 10));
+    }
+
+    StateView view(world);
+    StateViewHost host(view);
+    BlockContext block;
+    TxContext tx{kCaller, U256(1)};
+    SsaBuilder builder;
+    Interpreter interp(host, block, tx, &builder);
+    Message msg;
+    msg.code_address = kSelf;
+    msg.storage_address = kSelf;
+    msg.caller = kCaller;
+    msg.gas = 1'000'000;
+    EvmResult r = interp.Execute(msg);
+    ASSERT_EQ(r.status, EvmStatus::kSuccess);
+    TxLog log = builder.TakeLog();
+
+    // Perturb one slot and redo.
+    WorldState perturbed = world;
+    StateKey key = StateKey::Storage(kSelf, U256(prog_rng() % 4));
+    U256 new_value(500 + prog_rng() % 100);
+    perturbed.Set(key, new_value);
+    ConflictMap conflicts{{key, new_value}};
+    RedoResult redo =
+        RunRedo(log, conflicts, [&](const StateKey& k) { return perturbed.Get(k); });
+
+    // Oracle: full re-execution against the perturbed state.
+    StateView oracle_view(perturbed);
+    StateViewHost oracle_host(oracle_view);
+    Interpreter oracle_interp(oracle_host, block, tx);
+    ASSERT_EQ(oracle_interp.Execute(msg).status, EvmStatus::kSuccess);
+
+    if (!redo.success) {
+      continue;  // Declining is always sound (gas zero-ness flips etc.).
+    }
+    ++checked;
+    const WriteSet& oracle_writes = oracle_view.write_set();
+    ASSERT_EQ(redo.write_set.size(), oracle_writes.size()) << HexEncode(code);
+    for (const auto& [k, v] : oracle_writes) {
+      ASSERT_EQ(redo.write_set.at(k), v) << HexEncode(code) << " key " << k.ToString();
+    }
+  }
+  EXPECT_GT(checked, 50);  // The property must not be vacuous.
+}
+
+}  // namespace
+}  // namespace pevm

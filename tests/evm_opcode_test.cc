@@ -1,0 +1,333 @@
+// Opcode-level semantics: each EVM instruction executed in bytecode must
+// agree with the pure evaluator and the yellow-paper rules (operand order,
+// zero-padding, gas, static restrictions, depth limits).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "src/evm/eval.h"
+#include "src/evm/host.h"
+#include "src/evm/interpreter.h"
+#include "src/workload/assembler.h"
+
+namespace pevm {
+namespace {
+
+const Address kSelf = Address::FromId(0xC0DE);
+const Address kCaller = Address::FromId(0xCA11);
+
+class OpcodeRunner {
+ public:
+  OpcodeRunner() : view_(world_) {}
+
+  EvmResult Run(const Bytes& code, int64_t gas = 5'000'000) {
+    world_.SetCode(kSelf, code);
+    view_.emplace(world_);
+    StateViewHost host(*view_);
+    Interpreter interp(host, block_, tx_);
+    Message msg;
+    msg.code_address = kSelf;
+    msg.storage_address = kSelf;
+    msg.caller = kCaller;
+    msg.gas = gas;
+    return interp.Execute(msg);
+  }
+
+  WorldState world_;
+  std::optional<StateView> view_;
+  BlockContext block_;
+  TxContext tx_{kCaller, U256(1)};
+};
+
+// Runs `op` on the given stack operands via real bytecode and returns the
+// result word. Operands pushed so that operands[0] ends on top.
+U256 RunBinary(Opcode op, const U256& top, const U256& second) {
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(second).Push(top).Op(op);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kSuccess);
+  return U256::FromBigEndian(r.output);
+}
+
+// Interpreter output must equal EvalPure for every binary pure op over a
+// randomized operand sweep — the redo phase depends on this agreement.
+class PureOpAgreementTest : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(PureOpAgreementTest, BytecodeMatchesEvalPure) {
+  Opcode op = GetParam();
+  std::mt19937_64 rng(static_cast<uint64_t>(op) * 7919);
+  for (int i = 0; i < 12; ++i) {
+    // Mix small values, powers of two, and full-width randoms.
+    auto gen = [&]() {
+      switch (rng() % 4) {
+        case 0:
+          return U256(rng() % 1000);
+        case 1:
+          return U256::Shl(static_cast<unsigned>(rng() % 256), U256(1));
+        case 2:
+          return ~U256{} - U256(rng() % 5);
+        default:
+          return U256(rng(), rng(), rng(), rng());
+      }
+    };
+    U256 top = gen();
+    U256 second = gen();
+    std::array<U256, 2> ops = {top, second};
+    ASSERT_EQ(RunBinary(op, top, second), EvalPure(op, ops))
+        << OpcodeName(op) << "(" << top.ToHexString() << ", " << second.ToHexString() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Binary, PureOpAgreementTest,
+    ::testing::Values(Opcode::kAdd, Opcode::kMul, Opcode::kSub, Opcode::kDiv, Opcode::kSdiv,
+                      Opcode::kMod, Opcode::kSmod, Opcode::kExp, Opcode::kSignextend, Opcode::kLt,
+                      Opcode::kGt, Opcode::kSlt, Opcode::kSgt, Opcode::kEq, Opcode::kAnd,
+                      Opcode::kOr, Opcode::kXor, Opcode::kByte, Opcode::kShl, Opcode::kShr,
+                      Opcode::kSar),
+    [](const ::testing::TestParamInfo<Opcode>& info) {
+      return std::string(OpcodeName(info.param));
+    });
+
+TEST(OpcodeTest, TernaryOps) {
+  OpcodeRunner runner;
+  Assembler a;
+  // ADDMOD(9, 5, 7): push n, b, a (a on top).
+  a.Push(7).Push(5).Push(9).Op(Opcode::kAddmod);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(0));  // 14 mod 7.
+}
+
+TEST(OpcodeTest, IsZeroAndNot) {
+  EXPECT_EQ(RunBinary(Opcode::kSub, U256(5), U256(5)), U256{});
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(0).Op(Opcode::kIszero);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(1));
+}
+
+TEST(OpcodeTest, ImplicitStopAtCodeEnd) {
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(1).Push(2).Op(Opcode::kAdd);  // No explicit STOP.
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_TRUE(r.output.empty());
+}
+
+TEST(OpcodeTest, PushTruncatedAtCodeEnd) {
+  // PUSH32 with only 2 immediate bytes present: zero-padded per spec.
+  OpcodeRunner runner;
+  Bytes code = {0x7f, 0xaa, 0xbb};  // PUSH32 0xaabb (29 bytes missing).
+  EvmResult r = runner.Run(code);
+  EXPECT_EQ(r.status, EvmStatus::kSuccess);  // Implicit stop after push.
+}
+
+TEST(OpcodeTest, GasAccountingForArithmetic) {
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(1).Push(2).Op(Opcode::kAdd).Op(Opcode::kPop).Op(Opcode::kStop);
+  EvmResult r = runner.Run(a.Build(), 100'000);
+  // PUSH(3)+PUSH(3)+ADD(3)+POP(2)+STOP(0) = 11.
+  EXPECT_EQ(100'000 - r.gas_left, 11);
+}
+
+TEST(OpcodeTest, ExpGasScalesWithExponentWidth) {
+  auto gas_for = [&](const U256& exponent) {
+    OpcodeRunner runner;
+    Assembler a;
+    a.Push(exponent).Push(3).Op(Opcode::kExp).Op(Opcode::kPop).Op(Opcode::kStop);
+    EvmResult r = runner.Run(a.Build(), 100'000);
+    return 100'000 - r.gas_left;
+  };
+  int64_t one_byte = gas_for(U256(0xff));
+  int64_t two_bytes = gas_for(U256(0x100));
+  int64_t full = gas_for(~U256{});
+  EXPECT_EQ(two_bytes - one_byte, 50);
+  EXPECT_EQ(full - one_byte, 50 * 31);
+}
+
+TEST(OpcodeTest, MemoryExpansionGasQuadratic) {
+  auto gas_for = [&](uint64_t offset) {
+    OpcodeRunner runner;
+    Assembler a;
+    a.Push(1).Push(offset).Op(Opcode::kMstore).Op(Opcode::kStop);
+    EvmResult r = runner.Run(a.Build(), 10'000'000);
+    return 10'000'000 - r.gas_left;
+  };
+  // cost(words) = 3*words + words^2/512: one word costs 3, 32 words cost
+  // 96 + 2, 1024 words cost 3072 + 2048.
+  int64_t base = gas_for(0) - 3;  // Strip the push/mstore static cost once.
+  EXPECT_EQ(gas_for(0), base + 3);
+  EXPECT_EQ(gas_for(31 * 32), base + 3 * 32 + (32 * 32) / 512);
+  EXPECT_EQ(gas_for(1023 * 32), base + 3 * 1024 + (1024 * 1024) / 512);
+}
+
+TEST(OpcodeTest, CopyOpsChargePerWord) {
+  auto gas_for = [&](uint64_t len) {
+    OpcodeRunner runner;
+    Assembler a;
+    a.Push(len).Push(0).Push(0).Op(Opcode::kCalldatacopy).Op(Opcode::kStop);
+    EvmResult r = runner.Run(a.Build(), 10'000'000);
+    return 10'000'000 - r.gas_left;
+  };
+  EXPECT_EQ(gas_for(64) - gas_for(32), 3 + 3);  // +1 copy word, +1 memory word.
+}
+
+TEST(OpcodeTest, LogChargesTopicsAndData) {
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(7).Push(9);                       // Two topics.
+  a.Push(32).Push(0).Op(Opcode::kLog2);    // 32 bytes of data.
+  a.Op(Opcode::kStop);
+  EvmResult r = runner.Run(a.Build(), 100'000);
+  int64_t used = 100'000 - r.gas_left;
+  // 4 pushes (12) + LOG base 375 + 2*375 + 8*32 + memory word 3.
+  EXPECT_EQ(used, 12 + 375 + 750 + 256 + 3);
+}
+
+TEST(OpcodeTest, CallDepthLimitReturnsZero) {
+  // A contract that calls itself recursively; at depth 1024 the inner call
+  // fails (push 0) and the chain unwinds successfully.
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(0).Push(0).Push(0).Push(0).Push(0);
+  a.Push(kSelf).Op(Opcode::kGas).Op(Opcode::kCall);
+  a.Push(0).Op(Opcode::kMstore);
+  a.Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build(), 30'000'000);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  // The outermost call returns its child's success flag; somewhere down the
+  // chain a call returned 0 (depth or gas exhaustion) without poisoning us.
+  EXPECT_EQ(r.output.size(), 32u);
+}
+
+TEST(OpcodeTest, StaticcallBlocksNestedWriteThroughCall) {
+  // STATICCALL -> callee does a plain CALL -> grand-callee SSTOREs.
+  // The static flag must propagate and halt the grand-callee.
+  OpcodeRunner runner;
+  Address mid = Address::FromId(0x1111);
+  Address leaf = Address::FromId(0x2222);
+  Assembler leaf_asm;
+  leaf_asm.Push(1).Push(1).Op(Opcode::kSstore).Op(Opcode::kStop);
+  runner.world_.SetCode(leaf, leaf_asm.Build());
+  Assembler mid_asm;
+  mid_asm.Push(0).Push(0).Push(0).Push(0).Push(0).Push(leaf).Op(Opcode::kGas);
+  mid_asm.Op(Opcode::kCall);  // Inherits static mode.
+  mid_asm.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  runner.world_.SetCode(mid, mid_asm.Build());
+  Assembler top;
+  top.Push(0x20).Push(0).Push(0).Push(0).Push(mid).Op(Opcode::kGas);
+  top.Op(Opcode::kStaticcall).Op(Opcode::kPop);
+  top.Push(0).Op(Opcode::kMload);
+  top.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(top.Build());
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  // mid returned its CALL's success flag: 0 (leaf halted on SSTORE).
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256{});
+  EXPECT_EQ(runner.view_->GetStorage(leaf, U256(1)), U256{});
+}
+
+TEST(OpcodeTest, SixtyThreeSixtyFourthsGasForwarding) {
+  // The callee burns everything it gets; the caller keeps 1/64.
+  OpcodeRunner runner;
+  Address burner = Address::FromId(0x3333);
+  Assembler burn;
+  burn.Label("loop").Jump("loop");
+  runner.world_.SetCode(burner, burn.Build());
+  Assembler a;
+  a.Push(0).Push(0).Push(0).Push(0).Push(0).Push(burner).Op(Opcode::kGas);
+  a.Op(Opcode::kCall);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build(), 640'000);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256{});  // Callee ran out of gas.
+  EXPECT_GT(r.gas_left, 0);                          // But the caller survived.
+}
+
+TEST(OpcodeTest, ExtcodesizeAndHash) {
+  OpcodeRunner runner;
+  Address other = Address::FromId(0x4444);
+  runner.world_.SetCode(other, Bytes{0x60, 0x00, 0x00});
+  Assembler a;
+  a.Push(other).Op(Opcode::kExtcodesize);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(3));
+
+  Assembler b;
+  b.Push(Address::FromId(0x5555)).Op(Opcode::kExtcodehash);  // No code: 0.
+  b.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r2 = runner.Run(b.Build());
+  EXPECT_EQ(U256::FromBigEndian(r2.output), U256{});
+}
+
+TEST(OpcodeTest, ChainConstantOpcodes) {
+  OpcodeRunner runner;
+  runner.block_.chain_id = U256(1);
+  runner.block_.number = U256(14'000'000);
+  Assembler a;
+  a.Op(Opcode::kChainid).Op(Opcode::kNumber).Op(Opcode::kAdd);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(14'000'001));
+}
+
+TEST(OpcodeTest, MsizeTracksExpansion) {
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(1).Push(100).Op(Opcode::kMstore);  // Expands to 132 -> 160 bytes.
+  a.Op(Opcode::kMsize);
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+  EvmResult r = runner.Run(a.Build());
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(160));
+}
+
+TEST(OpcodeTest, TraitsTableSanity) {
+  // Every defined opcode's pops/pushes must be within stack effects bounds.
+  int defined = 0;
+  for (int i = 0; i < 256; ++i) {
+    const OpcodeTraits& t = TraitsOf(static_cast<Opcode>(i));
+    if (!t.defined) {
+      continue;
+    }
+    ++defined;
+    EXPECT_GE(t.stack_pops, 0);
+    EXPECT_LE(t.stack_pops, 17);
+    EXPECT_LE(t.stack_pushes, 17);
+    EXPECT_FALSE(t.name.empty());
+  }
+  EXPECT_GT(defined, 120);  // Push/dup/swap families included.
+}
+
+TEST(OpcodeTest, UndefinedOpcodeHalts) {
+  OpcodeRunner runner;
+  EvmResult r = runner.Run(Bytes{0x0c});  // 0x0c is undefined.
+  EXPECT_EQ(r.status, EvmStatus::kInvalidInstruction);
+  EXPECT_EQ(r.gas_left, 0);
+}
+
+
+TEST(OpcodeTest, HugeRequestedCallGasClampsToCap) {
+  // Regression: a gas operand like 2^63 fits uint64 but is negative as
+  // int64; it must clamp to the 63/64 cap instead of *refunding* gas.
+  OpcodeRunner runner;
+  Assembler a;
+  a.Push(0).Push(0).Push(0).Push(0).Push(0).Push(Address::FromId(0x9999));
+  a.Push(U256::Shl(63, U256(1)));  // Requested gas = 2^63.
+  a.Op(Opcode::kCall);
+  a.Op(Opcode::kPop).Op(Opcode::kStop);
+  EvmResult r = runner.Run(a.Build(), 100'000);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_LT(r.gas_left, 100'000);  // Gas strictly consumed, never created.
+  EXPECT_GE(r.gas_left, 0);
+}
+
+}  // namespace
+}  // namespace pevm

@@ -1,0 +1,670 @@
+#include <gtest/gtest.h>
+
+#include "src/evm/eval.h"
+#include "src/evm/host.h"
+#include "src/evm/interpreter.h"
+#include "src/exec/apply.h"
+#include "src/state/state_view.h"
+#include "src/workload/assembler.h"
+#include "src/workload/contracts.h"
+
+namespace pevm {
+namespace {
+
+const Address kAlice = Address::FromId(0xA11CE);
+const Address kBob = Address::FromId(0xB0B);
+const Address kCarol = Address::FromId(0xCA801);
+const Address kContract = Address::FromId(0xC0DE);
+const Address kToken = Address::FromId(0x70CE);
+const Address kToken2 = Address::FromId(0x70CE2);
+const Address kPool = Address::FromId(0xD00);
+const Address kFund = Address::FromId(0xF00D);
+
+constexpr int64_t kGas = 10'000'000;
+
+// Runs `code` as kContract with the given calldata and returns the result.
+struct RunOutput {
+  EvmResult result;
+  WorldState state;
+};
+
+class EvmTest : public ::testing::Test {
+ protected:
+  // Executes code at kContract. Leaves `world_` mutated through `view_`.
+  EvmResult Run(const Bytes& code, const Bytes& calldata = {}, const U256& value = U256{}) {
+    world_.SetCode(kContract, code);
+    view_.emplace(world_);
+    StateViewHost host(*view_);
+    Interpreter interp(host, block_, tx_ctx_);
+    Message msg;
+    msg.code_address = kContract;
+    msg.storage_address = kContract;
+    msg.caller = kAlice;
+    msg.value = value;
+    msg.data = calldata;
+    msg.gas = kGas;
+    return interp.Execute(msg);
+  }
+
+  // Assembles, runs, expects success, and returns the single returned word.
+  U256 RunForWord(Assembler& a) {
+    EvmResult r = Run(a.Build());
+    EXPECT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+    EXPECT_EQ(r.output.size(), 32u);
+    return U256::FromBigEndian(r.output);
+  }
+
+  WorldState world_;
+  std::optional<StateView> view_;
+  BlockContext block_;
+  TxContext tx_ctx_{kAlice, U256(1)};
+};
+
+// Emits code returning the top-of-stack word.
+void ReturnTop(Assembler& a) {
+  a.Push(0).Op(Opcode::kMstore).Push(0x20).Push(0).Op(Opcode::kReturn);
+}
+
+TEST_F(EvmTest, ArithmeticAndReturn) {
+  Assembler a;
+  a.Push(20).Push(30).Op(Opcode::kAdd);  // 50
+  a.Push(8).Op(Opcode::kMul);            // MUL pops 8, 50 -> 400
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(400));
+}
+
+TEST_F(EvmTest, StackOrderOfSubAndDiv) {
+  // SUB computes top - second.
+  Assembler a;
+  a.Push(10).Push(30).Op(Opcode::kSub);  // 30 - 10
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(20));
+
+  Assembler b;
+  b.Push(5).Push(100).Op(Opcode::kDiv);  // 100 / 5
+  ReturnTop(b);
+  EXPECT_EQ(RunForWord(b), U256(20));
+}
+
+TEST_F(EvmTest, DupAndSwapSemantics) {
+  Assembler a;
+  a.Push(1).Push(2).Push(3);   // [1,2,3]
+  a.Op(Opcode::kDup3);         // [1,2,3,1]
+  a.Op(Opcode::kSwap1);        // [1,2,1,3]
+  a.Op(Opcode::kSub);          // 3-1=2 -> [1,2,2]
+  a.Op(Opcode::kAdd);          // 4
+  a.Op(Opcode::kAdd);          // 5
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(5));
+}
+
+TEST_F(EvmTest, MemoryStoreLoad) {
+  Assembler a;
+  a.Push(0xdead).Push(0x40).Op(Opcode::kMstore);
+  a.Push(0x40).Op(Opcode::kMload);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(0xdead));
+}
+
+TEST_F(EvmTest, Mstore8WritesSingleByte) {
+  Assembler a;
+  a.Push(0x1234).Push(0).Op(Opcode::kMstore8);  // mem[0] = 0x34.
+  a.Push(0).Op(Opcode::kMload);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256::Shl(248, U256(0x34)));
+}
+
+TEST_F(EvmTest, StorageRoundTrip) {
+  Assembler a;
+  a.Push(42).Push(7).Op(Opcode::kSstore);  // storage[7] = 42.
+  a.Push(7).Op(Opcode::kSload);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(42));
+  EXPECT_EQ(view_->write_set().at(StateKey::Storage(kContract, U256(7))), U256(42));
+}
+
+TEST_F(EvmTest, JumpSkipsCode) {
+  Assembler a;
+  a.Push(1).Jump("end");
+  a.Push(99).Op(Opcode::kAdd);  // Skipped.
+  a.Label("end");
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(1));
+}
+
+TEST_F(EvmTest, JumpiTakenAndNotTaken) {
+  Assembler a;
+  a.Push(7);
+  a.Push(1).JumpI("skip");  // Taken.
+  a.Push(100).Op(Opcode::kAdd);
+  a.Label("skip");
+  a.Push(0).JumpI("skip2");  // Not taken.
+  a.Push(1000).Op(Opcode::kAdd);
+  a.Label("skip2");
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(1007));
+}
+
+TEST_F(EvmTest, BadJumpHalts) {
+  Assembler a;
+  a.Push(3).Op(Opcode::kJump);  // 3 is not a JUMPDEST.
+  EvmResult r = Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kBadJumpDestination);
+  EXPECT_EQ(r.gas_left, 0);
+}
+
+TEST_F(EvmTest, JumpIntoPushDataRejected) {
+  Assembler a;
+  // PUSH2 0x5b5b makes bytes that look like JUMPDESTs inside push data.
+  a.Push(4).Op(Opcode::kJump);
+  a.Push(U256(0x5b5b));
+  EvmResult r = Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kBadJumpDestination);
+}
+
+TEST_F(EvmTest, StackUnderflowHalts) {
+  Assembler a;
+  a.Op(Opcode::kAdd);
+  EvmResult r = Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kStackUnderflow);
+}
+
+TEST_F(EvmTest, OutOfGasOnLoop) {
+  Assembler a;
+  a.Label("loop").Jump("loop");
+  EvmResult r = Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kOutOfGas);
+  EXPECT_EQ(r.gas_left, 0);
+}
+
+TEST_F(EvmTest, RevertReturnsPayloadAndGas) {
+  Assembler a;
+  a.Push(0xbad).Push(0).Op(Opcode::kMstore);
+  a.Push(0x20).Push(0).Op(Opcode::kRevert);
+  EvmResult r = Run(a.Build());
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  EXPECT_GT(r.gas_left, 0);
+  ASSERT_EQ(r.output.size(), 32u);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(0xbad));
+}
+
+TEST_F(EvmTest, CalldataloadZeroPadsPastEnd) {
+  Assembler a;
+  a.Push(2).Op(Opcode::kCalldataload);
+  ReturnTop(a);
+  Bytes data = {0x11, 0x22, 0x33, 0x44};
+  world_.SetCode(kContract, a.Build());
+  EvmResult r = Run(a.Build(), data);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  // Bytes 2..34 of calldata: 0x33 0x44 then zeros.
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256::Shl(240, U256(0x3344)));
+}
+
+TEST_F(EvmTest, EnvOpcodes) {
+  Assembler a;
+  a.Op(Opcode::kCaller);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a).ToAddress(), kAlice);
+
+  Assembler b;
+  b.Op(Opcode::kAddress);
+  ReturnTop(b);
+  EXPECT_EQ(RunForWord(b).ToAddress(), kContract);
+}
+
+TEST_F(EvmTest, Sha3MatchesKeccak) {
+  Assembler a;
+  a.Push(0xabcdef).Push(0).Op(Opcode::kMstore);
+  a.Push(0x20).Push(0).Op(Opcode::kSha3);
+  ReturnTop(a);
+  std::array<uint8_t, 32> be = U256(0xabcdef).ToBigEndian();
+  EXPECT_EQ(RunForWord(a), Keccak256Word(BytesView(be.data(), be.size())));
+}
+
+TEST_F(EvmTest, SstoreGasDependsOnPriorValue) {
+  // Fresh slot: 20000. Overwrite: 5000.
+  Assembler a;
+  a.Push(1).Push(5).Op(Opcode::kSstore);
+  a.Push(2).Push(5).Op(Opcode::kSstore);
+  a.Op(Opcode::kStop);
+  EvmResult r = Run(a.Build());
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  // 4 pushes (3 each) + 20000 + 5000 + SLOAD-free = used.
+  int64_t used = kGas - r.gas_left;
+  EXPECT_EQ(used, 4 * 3 + 20000 + 5000);
+}
+
+TEST_F(EvmTest, BalanceAndSelfbalance) {
+  world_.SetBalance(kContract, U256(777));
+  Assembler a;
+  a.Op(Opcode::kSelfbalance);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(777));
+
+  world_.SetBalance(kBob, U256(123));
+  Assembler b;
+  b.Push(kBob).Op(Opcode::kBalance);
+  ReturnTop(b);
+  EXPECT_EQ(RunForWord(b), U256(123));
+}
+
+// --- Message calls. ---
+
+TEST_F(EvmTest, InnerCallExecutesCalleeCode) {
+  // Callee returns 42; caller forwards it.
+  Assembler callee;
+  callee.Push(42);
+  ReturnTop(callee);
+  world_.SetCode(kToken, callee.Build());
+
+  Assembler caller;
+  // CALL(gas, kToken, 0, in=0 len=0, out=0 len=32) then return mem[0..32).
+  caller.Push(0x20).Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kCall);
+  caller.Op(Opcode::kPop);  // success flag
+  caller.Push(0).Op(Opcode::kMload);
+  ReturnTop(caller);
+  EXPECT_EQ(RunForWord(caller), U256(42));
+}
+
+TEST_F(EvmTest, CallValueTransfersBalance) {
+  world_.SetBalance(kContract, U256(1000));
+  Assembler a;
+  // CALL(gas, kBob, 600, 0,0, 0,0); return success flag.
+  a.Push(0).Push(0).Push(0).Push(0).Push(600).Push(kBob).Op(Opcode::kGas);
+  a.Op(Opcode::kCall);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256(1));
+  EXPECT_EQ(view_->GetBalance(kBob), U256(600));
+  EXPECT_EQ(view_->GetBalance(kContract), U256(400));
+}
+
+TEST_F(EvmTest, CallWithInsufficientBalanceFails) {
+  world_.SetBalance(kContract, U256(10));
+  Assembler a;
+  a.Push(0).Push(0).Push(0).Push(0).Push(600).Push(kBob).Op(Opcode::kGas);
+  a.Op(Opcode::kCall);
+  ReturnTop(a);
+  EXPECT_EQ(RunForWord(a), U256{});  // success == 0.
+  EXPECT_EQ(view_->GetBalance(kBob), U256{});
+}
+
+TEST_F(EvmTest, RevertInCalleeRollsBackItsWrites) {
+  Assembler callee;
+  callee.Push(99).Push(1).Op(Opcode::kSstore);
+  callee.Push(0).Push(0).Op(Opcode::kRevert);
+  world_.SetCode(kToken, callee.Build());
+
+  Assembler caller;
+  caller.Push(77).Push(1).Op(Opcode::kSstore);  // Caller's own write survives.
+  caller.Push(0).Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kCall);
+  ReturnTop(caller);
+  EXPECT_EQ(RunForWord(caller), U256{});  // Callee reverted.
+  EXPECT_EQ(view_->GetStorage(kContract, U256(1)), U256(77));
+  EXPECT_EQ(view_->GetStorage(kToken, U256(1)), U256{});
+}
+
+TEST_F(EvmTest, StaticcallBlocksStores) {
+  Assembler callee;
+  callee.Push(99).Push(1).Op(Opcode::kSstore);
+  callee.Op(Opcode::kStop);
+  world_.SetCode(kToken, callee.Build());
+
+  Assembler caller;
+  caller.Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kStaticcall);
+  ReturnTop(caller);
+  EXPECT_EQ(RunForWord(caller), U256{});  // Inner frame halted.
+  EXPECT_EQ(view_->GetStorage(kToken, U256(1)), U256{});
+}
+
+TEST_F(EvmTest, DelegatecallUsesCallerStorage) {
+  Assembler library;
+  library.Push(5).Push(9).Op(Opcode::kSstore);  // storage[9] = 5 — in caller's context.
+  library.Op(Opcode::kStop);
+  world_.SetCode(kToken, library.Build());
+
+  Assembler caller;
+  caller.Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kDelegatecall);
+  ReturnTop(caller);
+  EXPECT_EQ(RunForWord(caller), U256(1));
+  EXPECT_EQ(view_->GetStorage(kContract, U256(9)), U256(5));
+  EXPECT_EQ(view_->GetStorage(kToken, U256(9)), U256{});
+}
+
+TEST_F(EvmTest, ReturndatacopyAndSize) {
+  Assembler callee;
+  callee.Push(0xfeed);
+  ReturnTop(callee);
+  world_.SetCode(kToken, callee.Build());
+
+  Assembler caller;
+  caller.Push(0).Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kCall).Op(Opcode::kPop);
+  // Stack [32, 0, 0x40]: RETURNDATACOPY pops dst=0x40, src=0, len=32.
+  caller.Op(Opcode::kReturndatasize);
+  caller.Push(0).Push(0x40);
+  caller.Op(Opcode::kReturndatacopy);
+  caller.Push(0x40).Op(Opcode::kMload);
+  ReturnTop(caller);
+  EvmResult r = Run(caller.Build());
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(0xfeed));
+}
+
+TEST_F(EvmTest, ReturndatacopyPastEndHalts) {
+  Assembler callee;
+  callee.Push(0xfeed);
+  ReturnTop(callee);
+  world_.SetCode(kToken, callee.Build());
+
+  Assembler caller;
+  caller.Push(0).Push(0).Push(0).Push(0).Push(0).Push(kToken).Op(Opcode::kGas);
+  caller.Op(Opcode::kCall).Op(Opcode::kPop);
+  caller.Push(64).Push(0).Push(0).Op(Opcode::kReturndatacopy);  // 64 > 32: halt.
+  caller.Op(Opcode::kStop);
+  EvmResult r = Run(caller.Build());
+  EXPECT_EQ(r.status, EvmStatus::kOutOfGas);
+}
+
+// --- The assembled workload contracts, end to end. ---
+
+class Erc20Test : public EvmTest {
+ protected:
+  void SetUp() override {
+    world_.SetCode(kToken, BuildErc20Code());
+    world_.SetStorage(kToken, Erc20BalanceSlot(kAlice), U256(1000));
+    view_.emplace(world_);
+  }
+
+  EvmResult CallToken(const Address& caller, const Bytes& calldata) {
+    StateViewHost host(*view_);
+    Interpreter interp(host, block_, tx_ctx_);
+    Message msg;
+    msg.code_address = kToken;
+    msg.storage_address = kToken;
+    msg.caller = caller;
+    msg.data = calldata;
+    msg.gas = kGas;
+    return interp.Execute(msg);
+  }
+
+  U256 BalanceOf(const Address& who) {
+    return view_->GetStorage(kToken, Erc20BalanceSlot(who));
+  }
+};
+
+TEST_F(Erc20Test, TransferMovesTokens) {
+  EvmResult r = CallToken(kAlice, Erc20TransferCall(kBob, U256(250)));
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(1));
+  EXPECT_EQ(BalanceOf(kAlice), U256(750));
+  EXPECT_EQ(BalanceOf(kBob), U256(250));
+}
+
+TEST_F(Erc20Test, TransferInsufficientBalanceReverts) {
+  EvmResult r = CallToken(kAlice, Erc20TransferCall(kBob, U256(1001)));
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  EXPECT_EQ(BalanceOf(kAlice), U256(1000));
+  EXPECT_EQ(BalanceOf(kBob), U256{});
+}
+
+TEST_F(Erc20Test, TransferExactBalanceSucceeds) {
+  EvmResult r = CallToken(kAlice, Erc20TransferCall(kBob, U256(1000)));
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(BalanceOf(kAlice), U256{});
+  EXPECT_EQ(BalanceOf(kBob), U256(1000));
+}
+
+TEST_F(Erc20Test, BalanceOfReturnsBalance) {
+  EvmResult r = CallToken(kBob, Erc20BalanceOfCall(kAlice));
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(1000));
+}
+
+TEST_F(Erc20Test, ApproveThenTransferFrom) {
+  ASSERT_EQ(CallToken(kAlice, Erc20ApproveCall(kBob, U256(300))).status, EvmStatus::kSuccess);
+  EXPECT_EQ(view_->GetStorage(kToken, Erc20AllowanceSlot(kAlice, kBob)), U256(300));
+
+  EvmResult r = CallToken(kBob, Erc20TransferFromCall(kAlice, kCarol, U256(200)));
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(BalanceOf(kAlice), U256(800));
+  EXPECT_EQ(BalanceOf(kCarol), U256(200));
+  EXPECT_EQ(view_->GetStorage(kToken, Erc20AllowanceSlot(kAlice, kBob)), U256(100));
+}
+
+TEST_F(Erc20Test, TransferFromBeyondAllowanceReverts) {
+  ASSERT_EQ(CallToken(kAlice, Erc20ApproveCall(kBob, U256(100))).status, EvmStatus::kSuccess);
+  EvmResult r = CallToken(kBob, Erc20TransferFromCall(kAlice, kCarol, U256(200)));
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  EXPECT_EQ(BalanceOf(kAlice), U256(1000));
+}
+
+TEST_F(Erc20Test, MintIncreasesSupplyAndBalance) {
+  ASSERT_EQ(CallToken(kCarol, Erc20MintCall(kCarol, U256(5000))).status, EvmStatus::kSuccess);
+  EXPECT_EQ(BalanceOf(kCarol), U256(5000));
+  EvmResult r = CallToken(kCarol, Erc20TotalSupplyCall());
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(U256::FromBigEndian(r.output), U256(5000));
+}
+
+TEST_F(Erc20Test, UnknownSelectorReverts) {
+  Bytes junk = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(CallToken(kAlice, junk).status, EvmStatus::kRevert);
+}
+
+class AmmTest : public EvmTest {
+ protected:
+  void SetUp() override {
+    world_.SetCode(kToken, BuildErc20Code());
+    world_.SetCode(kToken2, BuildErc20Code());
+    world_.SetCode(kPool, BuildAmmCode());
+    world_.SetStorage(kPool, U256(kAmmToken0Slot), U256::FromAddress(kToken));
+    world_.SetStorage(kPool, U256(kAmmToken1Slot), U256::FromAddress(kToken2));
+    world_.SetStorage(kPool, U256(kAmmReserve0Slot), U256(1'000'000));
+    world_.SetStorage(kPool, U256(kAmmReserve1Slot), U256(1'000'000));
+    // The pool owns reserves in both tokens; Alice owns token0 and approved
+    // the pool.
+    world_.SetStorage(kToken, Erc20BalanceSlot(kPool), U256(1'000'000));
+    world_.SetStorage(kToken2, Erc20BalanceSlot(kPool), U256(1'000'000));
+    world_.SetStorage(kToken, Erc20BalanceSlot(kAlice), U256(50'000));
+    world_.SetStorage(kToken, Erc20AllowanceSlot(kAlice, kPool), ~U256{});
+    view_.emplace(world_);
+  }
+
+  EvmResult Swap(const Address& caller, const U256& amount_in, bool zero_for_one) {
+    StateViewHost host(*view_);
+    Interpreter interp(host, block_, tx_ctx_);
+    Message msg;
+    msg.code_address = kPool;
+    msg.storage_address = kPool;
+    msg.caller = caller;
+    msg.data = AmmSwapCall(amount_in, zero_for_one);
+    msg.gas = kGas;
+    // Mirror ApplyTransaction: the top frame's writes roll back on failure.
+    size_t snapshot = view_->Snapshot();
+    EvmResult r = interp.Execute(msg);
+    if (r.status != EvmStatus::kSuccess) {
+      view_->RevertToSnapshot(snapshot);
+    }
+    return r;
+  }
+};
+
+TEST_F(AmmTest, SwapMovesTokensAndUpdatesReserves) {
+  EvmResult r = Swap(kAlice, U256(10'000), /*zero_for_one=*/true);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  // out = in*997*rOut / (rIn*1000 + in*997) = 9970000000000 / 1009970000 = 9871...
+  U256 out = U256::FromBigEndian(r.output);
+  U256 expected = U256::Div(U256(10'000) * U256(997) * U256(1'000'000),
+                            U256(1'000'000) * U256(1000) + U256(10'000) * U256(997));
+  EXPECT_EQ(out, expected);
+  // Alice paid token0, received token1.
+  EXPECT_EQ(view_->GetStorage(kToken, Erc20BalanceSlot(kAlice)), U256(40'000));
+  EXPECT_EQ(view_->GetStorage(kToken2, Erc20BalanceSlot(kAlice)), out);
+  // Reserves updated.
+  EXPECT_EQ(view_->GetStorage(kPool, U256(kAmmReserve0Slot)), U256(1'010'000));
+  EXPECT_EQ(view_->GetStorage(kPool, U256(kAmmReserve1Slot)), U256(1'000'000) - out);
+  // Pool token balances match reserves.
+  EXPECT_EQ(view_->GetStorage(kToken, Erc20BalanceSlot(kPool)), U256(1'010'000));
+  EXPECT_EQ(view_->GetStorage(kToken2, Erc20BalanceSlot(kPool)), U256(1'000'000) - out);
+}
+
+TEST_F(AmmTest, SwapWithoutApprovalReverts) {
+  EvmResult r = Swap(kBob, U256(10'000), true);
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  EXPECT_EQ(view_->GetStorage(kPool, U256(kAmmReserve0Slot)), U256(1'000'000));
+}
+
+TEST_F(AmmTest, ReverseDirectionSwap) {
+  // Give Alice token1 + approval for the reverse direction.
+  world_.SetStorage(kToken2, Erc20BalanceSlot(kAlice), U256(50'000));
+  world_.SetStorage(kToken2, Erc20AllowanceSlot(kAlice, kPool), ~U256{});
+  view_.emplace(world_);
+  EvmResult r = Swap(kAlice, U256(5'000), /*zero_for_one=*/false);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(view_->GetStorage(kPool, U256(kAmmReserve1Slot)), U256(1'005'000));
+}
+
+class CrowdfundTest : public EvmTest {
+ protected:
+  void SetUp() override {
+    world_.SetCode(kFund, BuildCrowdfundCode());
+    world_.SetBalance(kAlice, U256(10'000));
+    view_.emplace(world_);
+  }
+};
+
+TEST_F(CrowdfundTest, ContributionsAccumulate) {
+  StateViewHost host(*view_);
+  Interpreter interp(host, block_, tx_ctx_);
+  Message msg;
+  msg.code_address = kFund;
+  msg.storage_address = kFund;
+  msg.caller = kAlice;
+  msg.data = CrowdfundContributeCall();
+  msg.value = U256(500);  // ApplyTransaction normally moves value; simulate.
+  msg.gas = kGas;
+  view_->SetBalance(kAlice, U256(9'500));
+  view_->SetBalance(kFund, U256(500));
+  EvmResult r = interp.Execute(msg);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(view_->GetStorage(kFund, U256(kCrowdfundTotalSlot)), U256(500));
+  EXPECT_EQ(view_->GetStorage(kFund, CrowdfundContributionSlot(kAlice)), U256(500));
+
+  // Second contribution accumulates.
+  EvmResult r2 = interp.Execute(msg);
+  ASSERT_EQ(r2.status, EvmStatus::kSuccess);
+  EXPECT_EQ(view_->GetStorage(kFund, U256(kCrowdfundTotalSlot)), U256(1000));
+}
+
+// --- ApplyTransaction (envelope) tests. ---
+
+class ApplyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    world_.SetBalance(kAlice, U256::Exp(U256(10), U256(18)));  // 1 ether.
+    world_.SetCode(kToken, BuildErc20Code());
+    world_.SetStorage(kToken, Erc20BalanceSlot(kAlice), U256(1000));
+  }
+
+  Transaction MakeTransfer(const Address& from, const Address& to, const U256& value,
+                           uint64_t nonce = 0) {
+    Transaction tx;
+    tx.from = from;
+    tx.to = to;
+    tx.value = value;
+    tx.nonce = nonce;
+    tx.gas_limit = 100'000;
+    tx.gas_price = U256(1);
+    return tx;
+  }
+
+  WorldState world_;
+  BlockContext block_;
+};
+
+TEST_F(ApplyTest, NativeTransferMovesValueAndChargesGas) {
+  StateView view(world_);
+  Transaction tx = MakeTransfer(kAlice, kBob, U256(1234));
+  Receipt r = ApplyTransaction(view, block_, tx);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(r.gas_used, kTxBaseGas);
+  EXPECT_EQ(view.GetBalance(kBob), U256(1234));
+  EXPECT_EQ(view.GetNonce(kAlice), 1u);
+  // Sender lost value + gas.
+  EXPECT_EQ(view.GetBalance(kAlice),
+            U256::Exp(U256(10), U256(18)) - U256(1234) - U256(kTxBaseGas));
+  EXPECT_EQ(r.fee, U256(kTxBaseGas));
+}
+
+TEST_F(ApplyTest, BadNonceIsInvalidButLeavesReads) {
+  StateView view(world_);
+  Transaction tx = MakeTransfer(kAlice, kBob, U256(1), /*nonce=*/5);
+  Receipt r = ApplyTransaction(view, block_, tx);
+  EXPECT_FALSE(r.valid);
+  EXPECT_TRUE(view.write_set().empty());
+  EXPECT_TRUE(view.read_set().contains(StateKey::Nonce(kAlice)));
+}
+
+TEST_F(ApplyTest, InsufficientUpfrontBalanceIsInvalid) {
+  StateView view(world_);
+  Transaction tx = MakeTransfer(kBob, kCarol, U256(1));  // Bob has nothing.
+  Receipt r = ApplyTransaction(view, block_, tx);
+  EXPECT_FALSE(r.valid);
+  EXPECT_TRUE(view.write_set().empty());
+}
+
+TEST_F(ApplyTest, Erc20TransferThroughEnvelope) {
+  StateView view(world_);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kToken;
+  tx.data = Erc20TransferCall(kBob, U256(400));
+  tx.gas_limit = 200'000;
+  tx.gas_price = U256(1);
+  Receipt r = ApplyTransaction(view, block_, tx);
+  ASSERT_TRUE(r.valid);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess) << EvmStatusName(r.status);
+  EXPECT_EQ(view.GetStorage(kToken, Erc20BalanceSlot(kBob)), U256(400));
+  EXPECT_GT(r.gas_used, kTxBaseGas);
+  EXPECT_LT(r.gas_used, 100'000);
+}
+
+TEST_F(ApplyTest, RevertedExecutionStillChargesGas) {
+  StateView view(world_);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kToken;
+  tx.data = Erc20TransferCall(kBob, U256(5000));  // More than Alice's 1000.
+  tx.gas_limit = 200'000;
+  tx.gas_price = U256(1);
+  Receipt r = ApplyTransaction(view, block_, tx);
+  ASSERT_TRUE(r.valid);
+  EXPECT_EQ(r.status, EvmStatus::kRevert);
+  // Token state untouched; gas charged; nonce bumped.
+  EXPECT_EQ(view.GetStorage(kToken, Erc20BalanceSlot(kBob)), U256{});
+  EXPECT_GT(r.gas_used, 0);
+  EXPECT_EQ(view.GetNonce(kAlice), 1u);
+}
+
+TEST_F(ApplyTest, StatsCountStorageOps) {
+  StateView view(world_);
+  Transaction tx;
+  tx.from = kAlice;
+  tx.to = kToken;
+  tx.data = Erc20TransferCall(kBob, U256(400));
+  tx.gas_limit = 200'000;
+  tx.gas_price = U256(1);
+  Receipt r = ApplyTransaction(view, block_, tx);
+  ASSERT_EQ(r.status, EvmStatus::kSuccess);
+  EXPECT_EQ(r.stats.sstores, 2u);  // balances[from], balances[to].
+  EXPECT_GE(r.stats.sloads, 2u);
+  EXPECT_GT(r.stats.instructions, 50u);
+}
+
+}  // namespace
+}  // namespace pevm

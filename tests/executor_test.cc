@@ -1,0 +1,286 @@
+// Per-executor behavioural tests: edge cases (empty/invalid blocks),
+// algorithm-specific mechanics (Block-STM dependency chains, 2PL wounds,
+// pre-execution mode), fee crediting, and virtual-time sanity properties.
+#include <gtest/gtest.h>
+
+#include "src/baselines/block_stm.h"
+#include "src/baselines/occ.h"
+#include "src/baselines/serial.h"
+#include "src/baselines/two_phase_locking.h"
+#include "src/core/parallel_evm.h"
+#include "src/workload/contracts.h"
+
+namespace pevm {
+namespace {
+
+const Address kToken = Address::FromId(0x70CE);
+const Address kCoinbase = Address::FromId(0xC0FFEE);
+
+Transaction NativeTransfer(uint64_t from_id, uint64_t to_id, uint64_t value, uint64_t nonce = 0) {
+  Transaction tx;
+  tx.from = Address::FromId(from_id);
+  tx.to = Address::FromId(to_id);
+  tx.value = U256(value);
+  tx.gas_limit = 50'000;
+  tx.gas_price = U256(2);
+  tx.nonce = nonce;
+  return tx;
+}
+
+WorldState FundedWorld(int users) {
+  WorldState state;
+  for (int u = 0; u < users; ++u) {
+    state.SetBalance(Address::FromId(0x1000 + static_cast<uint64_t>(u)),
+                     U256::Exp(U256(10), U256(18)));
+  }
+  return state;
+}
+
+Block MakeBlock(std::vector<Transaction> txs) {
+  Block block;
+  block.context.coinbase = kCoinbase;
+  block.transactions = std::move(txs);
+  return block;
+}
+
+template <typename T>
+class ExecutorTypedTest : public ::testing::Test {
+ protected:
+  ExecOptions options_;
+  T MakeExecutor() {
+    options_.threads = 4;
+    return T(options_);
+  }
+};
+
+using ExecutorTypes = ::testing::Types<SerialExecutor, OccExecutor, BlockStmExecutor,
+                                       TwoPhaseLockingExecutor, ParallelEvmExecutor>;
+TYPED_TEST_SUITE(ExecutorTypedTest, ExecutorTypes);
+
+TYPED_TEST(ExecutorTypedTest, EmptyBlockIsNoOp) {
+  TypeParam exec = this->MakeExecutor();
+  WorldState state = FundedWorld(2);
+  uint64_t digest = state.Digest();
+  BlockReport report = exec.Execute(MakeBlock({}), state);
+  EXPECT_EQ(state.Digest(), digest);
+  EXPECT_TRUE(report.receipts.empty());
+}
+
+TYPED_TEST(ExecutorTypedTest, SingleTransferMovesValueAndFee) {
+  TypeParam exec = this->MakeExecutor();
+  WorldState state = FundedWorld(2);
+  BlockReport report = exec.Execute(MakeBlock({NativeTransfer(0x1000, 0x1001, 777)}), state);
+  ASSERT_EQ(report.receipts.size(), 1u);
+  EXPECT_TRUE(report.receipts[0].valid);
+  EXPECT_EQ(state.GetBalance(Address::FromId(0x1001)),
+            U256::Exp(U256(10), U256(18)) + U256(777));
+  // The coinbase got gas_used * price at block end.
+  EXPECT_EQ(state.GetBalance(kCoinbase), U256(21000 * 2));
+  EXPECT_EQ(state.GetNonce(Address::FromId(0x1000)), 1u);
+}
+
+TYPED_TEST(ExecutorTypedTest, InvalidTransactionsLeaveNoTrace) {
+  TypeParam exec = this->MakeExecutor();
+  WorldState state = FundedWorld(2);
+  uint64_t digest = state.Digest();
+  // Wrong nonce and unfunded sender.
+  Block block = MakeBlock({NativeTransfer(0x1000, 0x1001, 1, /*nonce=*/9),
+                           NativeTransfer(0x9999, 0x1001, 1)});
+  BlockReport report = exec.Execute(block, state);
+  EXPECT_EQ(state.Digest(), digest);
+  EXPECT_FALSE(report.receipts[0].valid);
+  EXPECT_FALSE(report.receipts[1].valid);
+}
+
+TYPED_TEST(ExecutorTypedTest, SameSenderNonceChainCommitsInOrder) {
+  TypeParam exec = this->MakeExecutor();
+  WorldState state = FundedWorld(3);
+  Block block = MakeBlock({NativeTransfer(0x1000, 0x1001, 10, 0),
+                           NativeTransfer(0x1000, 0x1002, 20, 1),
+                           NativeTransfer(0x1000, 0x1001, 30, 2)});
+  BlockReport report = exec.Execute(block, state);
+  for (const Receipt& r : report.receipts) {
+    EXPECT_TRUE(r.valid);
+  }
+  EXPECT_EQ(state.GetNonce(Address::FromId(0x1000)), 3u);
+  EXPECT_EQ(state.GetBalance(Address::FromId(0x1001)),
+            U256::Exp(U256(10), U256(18)) + U256(40));
+}
+
+TYPED_TEST(ExecutorTypedTest, BalanceDependencyChainIsSerializableInBlockOrder) {
+  // A -> B -> C -> D payment chain where each hop forwards received funds;
+  // correctness requires strict block-order semantics.
+  TypeParam exec = this->MakeExecutor();
+  WorldState state;
+  state.SetBalance(Address::FromId(0x1000), U256::Exp(U256(10), U256(18)));
+  state.SetBalance(Address::FromId(0x1001), U256(200'000));  // Just enough for gas.
+  state.SetBalance(Address::FromId(0x1002), U256(200'000));
+  const uint64_t kPayment = 5'000'000;
+  Block block = MakeBlock({NativeTransfer(0x1000, 0x1001, kPayment),
+                           NativeTransfer(0x1001, 0x1002, kPayment / 2),
+                           NativeTransfer(0x1002, 0x1003, kPayment / 4)});
+  BlockReport report = exec.Execute(block, state);
+  for (size_t i = 0; i < report.receipts.size(); ++i) {
+    EXPECT_TRUE(report.receipts[i].valid) << "tx " << i;
+  }
+  EXPECT_EQ(state.GetBalance(Address::FromId(0x1003)), U256(kPayment / 4));
+}
+
+TEST(ParallelEvmTest, PreExecutionModeMatchesNormalMode) {
+  WorldState genesis = FundedWorld(8);
+  genesis.SetCode(kToken, BuildErc20Code());
+  for (int u = 0; u < 8; ++u) {
+    genesis.SetStorage(kToken, Erc20BalanceSlot(Address::FromId(0x1000 + static_cast<uint64_t>(u))),
+                       U256(10'000));
+  }
+  std::vector<Transaction> txs;
+  for (int u = 1; u < 8; ++u) {
+    Transaction tx;
+    tx.from = Address::FromId(0x1000 + static_cast<uint64_t>(u));
+    tx.to = kToken;
+    tx.data = Erc20TransferCall(Address::FromId(0x1000), U256(5));
+    tx.gas_limit = 150'000;
+    tx.gas_price = U256(1);
+    txs.push_back(tx);
+  }
+  Block block = MakeBlock(txs);
+
+  ExecOptions options;
+  options.threads = 4;
+  ParallelEvmExecutor normal(options);
+  ParallelEvmExecutor preexec(options, /*pre_execution=*/true);
+  WorldState s1 = genesis;
+  WorldState s2 = genesis;
+  BlockReport r1 = normal.Execute(block, s1);
+  BlockReport r2 = preexec.Execute(block, s2);
+  EXPECT_EQ(s1.Digest(), s2.Digest());
+  // Pre-execution removes the read phase from the critical path.
+  EXPECT_LE(r2.makespan_ns, r1.makespan_ns);
+  EXPECT_EQ(preexec.name(), "parallelevm+preexec");
+}
+
+TEST(ParallelEvmTest, RedoFailureFallsBackToFullReexecution) {
+  // Two transferFroms racing for the last tokens: the second must abort its
+  // redo (balance guard) and still commit correctly via re-execution.
+  WorldState genesis = FundedWorld(4);
+  genesis.SetCode(kToken, BuildErc20Code());
+  Address owner = Address::FromId(0x1000);
+  genesis.SetStorage(kToken, Erc20BalanceSlot(owner), U256(100));
+  for (uint64_t u = 1; u < 4; ++u) {
+    genesis.SetStorage(kToken,
+                       Erc20AllowanceSlot(owner, Address::FromId(0x1000 + u)), ~U256{});
+  }
+  auto drain = [&](uint64_t spender, uint64_t amount) {
+    Transaction tx;
+    tx.from = Address::FromId(spender);
+    tx.to = kToken;
+    tx.data = Erc20TransferFromCall(owner, Address::FromId(spender + 0x100), U256(amount));
+    tx.gas_limit = 200'000;
+    tx.gas_price = U256(1);
+    return tx;
+  };
+  Block block = MakeBlock({drain(0x1001, 95), drain(0x1002, 20)});
+
+  ExecOptions options;
+  options.threads = 4;
+  SerialExecutor serial(options);
+  ParallelEvmExecutor pevm(options);
+  WorldState s1 = genesis;
+  WorldState s2 = genesis;
+  BlockReport rs = serial.Execute(block, s1);
+  BlockReport rp = pevm.Execute(block, s2);
+  EXPECT_EQ(s1.Digest(), s2.Digest());
+  EXPECT_EQ(rp.conflicts, 1);
+  EXPECT_EQ(rp.redo_fail, 1);
+  EXPECT_EQ(rp.full_reexecutions, 1);
+  // Serial says tx2 reverts (insufficient balance after tx1).
+  EXPECT_EQ(rs.receipts[1].status, EvmStatus::kRevert);
+  EXPECT_EQ(rp.receipts[1].status, EvmStatus::kRevert);
+}
+
+TEST(BlockStmTest, DependencyChainProducesAbortsButConverges) {
+  // Ten hot-receiver transfers: each conflicts with all predecessors.
+  WorldState genesis = FundedWorld(12);
+  std::vector<Transaction> txs;
+  for (uint64_t u = 1; u <= 10; ++u) {
+    txs.push_back(NativeTransfer(0x1000 + u, 0x1000, 100 * u));
+  }
+  Block block = MakeBlock(txs);
+  ExecOptions options;
+  options.threads = 4;
+  SerialExecutor serial(options);
+  BlockStmExecutor stm(options);
+  WorldState s1 = genesis;
+  WorldState s2 = genesis;
+  serial.Execute(block, s1);
+  BlockReport report = stm.Execute(block, s2);
+  EXPECT_EQ(s1.Digest(), s2.Digest());
+  EXPECT_GT(report.conflicts + report.full_reexecutions, 0);
+}
+
+TEST(TwoPhaseLockingTest, HotKeyContentionCausesWoundsOrWaits) {
+  WorldState genesis = FundedWorld(20);
+  std::vector<Transaction> txs;
+  for (uint64_t u = 1; u <= 16; ++u) {
+    txs.push_back(NativeTransfer(0x1000 + u, 0x1000, 100));  // All credit user 0.
+  }
+  Block block = MakeBlock(txs);
+  ExecOptions options;
+  options.threads = 8;
+  SerialExecutor serial(options);
+  TwoPhaseLockingExecutor two_pl(options);
+  WorldState s1 = genesis;
+  WorldState s2 = genesis;
+  BlockReport rs = serial.Execute(block, s1);
+  BlockReport rp = two_pl.Execute(block, s2);
+  EXPECT_EQ(s1.Digest(), s2.Digest());
+  // The hot-key serialization must keep 2PL close to serial.
+  EXPECT_GT(rp.makespan_ns, rs.makespan_ns / 4);
+}
+
+TEST(ExecutorPropertyTest, MoreThreadsNeverSlowDownParallelEvm) {
+  WorldState genesis = FundedWorld(64);
+  std::vector<Transaction> txs;
+  for (uint64_t u = 0; u < 48; ++u) {
+    txs.push_back(NativeTransfer(0x1000 + u, 0x1000 + ((u + 7) % 64), 50));
+  }
+  Block block = MakeBlock(txs);
+  uint64_t previous = ~uint64_t{0};
+  for (int threads : {1, 2, 4, 8, 16}) {
+    ExecOptions options;
+    options.threads = threads;
+    ParallelEvmExecutor pevm(options);
+    WorldState state = genesis;
+    BlockReport report = pevm.Execute(block, state);
+    EXPECT_LE(report.makespan_ns, previous + previous / 8) << threads << " threads";
+    previous = report.makespan_ns;
+  }
+}
+
+TEST(ExecutorPropertyTest, PrefetchNeverSlowsAnyExecutor) {
+  WorldState genesis = FundedWorld(32);
+  std::vector<Transaction> txs;
+  for (uint64_t u = 0; u < 24; ++u) {
+    txs.push_back(NativeTransfer(0x1000 + u, 0x1000 + ((u + 3) % 32), 50));
+  }
+  Block block = MakeBlock(txs);
+  ExecOptions cold;
+  cold.threads = 8;
+  ExecOptions warm = cold;
+  warm.prefetch = true;
+  auto check = [&](auto make) {
+    WorldState s1 = genesis;
+    WorldState s2 = genesis;
+    uint64_t t_cold = make(cold).Execute(block, s1).makespan_ns;
+    uint64_t t_warm = make(warm).Execute(block, s2).makespan_ns;
+    EXPECT_LE(t_warm, t_cold);
+    EXPECT_EQ(s1.Digest(), s2.Digest());
+  };
+  check([](const ExecOptions& o) { return SerialExecutor(o); });
+  check([](const ExecOptions& o) { return OccExecutor(o); });
+  check([](const ExecOptions& o) { return ParallelEvmExecutor(o); });
+  check([](const ExecOptions& o) { return BlockStmExecutor(o); });
+}
+
+}  // namespace
+}  // namespace pevm

@@ -1,0 +1,130 @@
+// Unit tests for the virtual-time substrate: the cost model, the greedy list
+// scheduler, and the state cache.
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.h"
+#include "src/sim/cost_model.h"
+
+namespace pevm {
+namespace {
+
+TEST(ListScheduleTest, SingleThreadSumsDurations) {
+  ScheduleResult r = ListSchedule({100, 200, 300}, 1, 0);
+  EXPECT_EQ(r.finish, (std::vector<uint64_t>{100, 300, 600}));
+  EXPECT_EQ(r.makespan, 600u);
+}
+
+TEST(ListScheduleTest, TwoThreadsBalanceLoad) {
+  ScheduleResult r = ListSchedule({100, 100, 100, 100}, 2, 0);
+  EXPECT_EQ(r.makespan, 200u);
+  EXPECT_EQ(r.finish[0], 100u);
+  EXPECT_EQ(r.finish[1], 100u);
+  EXPECT_EQ(r.finish[2], 200u);
+  EXPECT_EQ(r.finish[3], 200u);
+}
+
+TEST(ListScheduleTest, GreedyPicksLeastLoadedWorker) {
+  // A long task on one worker; short tasks flow to the other.
+  ScheduleResult r = ListSchedule({1000, 10, 10, 10}, 2, 0);
+  EXPECT_EQ(r.finish[0], 1000u);
+  EXPECT_EQ(r.finish[1], 10u);
+  EXPECT_EQ(r.finish[2], 20u);
+  EXPECT_EQ(r.finish[3], 30u);
+  EXPECT_EQ(r.makespan, 1000u);
+}
+
+TEST(ListScheduleTest, DispatchOverheadCharged) {
+  ScheduleResult r = ListSchedule({100}, 4, 25);
+  EXPECT_EQ(r.finish[0], 125u);
+}
+
+TEST(ListScheduleTest, EmptyAndDegenerateInputs) {
+  EXPECT_EQ(ListSchedule({}, 4, 0).makespan, 0u);
+  EXPECT_EQ(ListSchedule({5}, 0, 0).makespan, 5u);  // Clamped to 1 thread.
+}
+
+TEST(ListScheduleTest, MakespanBounds) {
+  // Classic list-scheduling bounds: max(duration) <= makespan <= sum.
+  std::vector<uint64_t> durations = {17, 2, 90, 33, 4, 61, 8, 12};
+  uint64_t sum = 0;
+  uint64_t longest = 0;
+  for (uint64_t d : durations) {
+    sum += d;
+    longest = std::max(longest, d);
+  }
+  for (int threads : {1, 2, 3, 8}) {
+    ScheduleResult r = ListSchedule(durations, threads, 0);
+    EXPECT_GE(r.makespan, longest);
+    EXPECT_GE(r.makespan, sum / static_cast<uint64_t>(threads));
+    EXPECT_LE(r.makespan, sum);
+  }
+}
+
+TEST(CostModelTest, ExecutionCostComponents) {
+  CostConfig config;
+  CostModel model(config);
+  ExecStats stats;
+  stats.gas_used = 21000;  // Envelope only: no compute component.
+  uint64_t base = model.ExecutionCost(stats, 0, 0, false);
+  EXPECT_EQ(base, config.per_tx_ns);
+  EXPECT_EQ(model.ExecutionCost(stats, 2, 3, false),
+            config.per_tx_ns + 2 * config.cold_read_ns + 3 * config.warm_read_ns);
+}
+
+TEST(CostModelTest, StorageGasExcludedFromCompute) {
+  CostConfig config;
+  CostModel model(config);
+  ExecStats stats;
+  stats.gas_used = 21000 + 800 * 4 + 40000 + 10000;  // 4 SLOADs + SSTOREs + 10k compute.
+  stats.sloads = 4;
+  stats.sstore_gas = 40000;
+  uint64_t cost = model.ExecutionCost(stats, 0, 0, false);
+  EXPECT_EQ(cost, static_cast<uint64_t>(10000 * config.ns_per_gas) + config.per_tx_ns);
+}
+
+TEST(CostModelTest, SsaOverheadAppliesToComputeOnly) {
+  CostConfig config;
+  CostModel model(config);
+  ExecStats stats;
+  stats.gas_used = 21000 + 100000;
+  uint64_t plain = model.ExecutionCost(stats, 0, 0, false);
+  uint64_t with_ssa = model.ExecutionCost(stats, 0, 0, true);
+  double overhead = static_cast<double>(with_ssa - plain) /
+                    static_cast<double>(plain - config.per_tx_ns);
+  EXPECT_NEAR(overhead, config.ssa_overhead, 0.001);
+}
+
+TEST(CostModelTest, RedoCheaperThanReexecution) {
+  // The economic core of the paper: repairing a handful of entries must be
+  // much cheaper than re-executing the transaction.
+  CostConfig config;
+  CostModel model(config);
+  ExecStats stats;
+  stats.gas_used = 60000;
+  stats.sloads = 5;
+  stats.sstore_gas = 25000;
+  uint64_t reexec = model.ExecutionCost(stats, 0, 5, false);
+  uint64_t redo = model.RedoCost(/*visited=*/10, /*reexecuted=*/7, /*conflict_keys=*/1);
+  EXPECT_LT(redo * 2, reexec);
+}
+
+TEST(StateCacheTest, ColdThenWarm) {
+  StateCache cache(/*all_warm=*/false);
+  ReadSet reads;
+  reads[StateKey::Balance(Address::FromId(1))] = U256(1);
+  reads[StateKey::Balance(Address::FromId(2))] = U256(2);
+  EXPECT_EQ(cache.Touch(reads), 2u);
+  EXPECT_EQ(cache.Touch(reads), 0u);  // Now resident.
+  reads[StateKey::Balance(Address::FromId(3))] = U256(3);
+  EXPECT_EQ(cache.Touch(reads), 1u);
+}
+
+TEST(StateCacheTest, PrefetchedCacheNeverMisses) {
+  StateCache cache(/*all_warm=*/true);
+  ReadSet reads;
+  reads[StateKey::Balance(Address::FromId(1))] = U256(1);
+  EXPECT_EQ(cache.Touch(reads), 0u);
+}
+
+}  // namespace
+}  // namespace pevm

@@ -1,0 +1,368 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "src/support/bytes.h"
+#include "src/support/keccak.h"
+#include "src/support/rlp.h"
+#include "src/support/u256.h"
+#include "src/support/zipf.h"
+
+namespace pevm {
+namespace {
+
+// --- Hex / bytes ---
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(HexEncode(data), "0001abff");
+  EXPECT_EQ(HexDecode("0001abff"), data);
+  EXPECT_EQ(HexDecode("0x0001ABFF"), data);
+}
+
+TEST(BytesTest, HexDecodeRejectsBadInput) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+  EXPECT_FALSE(HexDecode("zz").has_value());
+}
+
+TEST(BytesTest, AddressFromId) {
+  Address a = Address::FromId(0x1234);
+  EXPECT_EQ(a.ToHex(), "0x0000000000000000000000000000000000001234");
+  EXPECT_FALSE(a.IsZero());
+  EXPECT_TRUE(Address().IsZero());
+}
+
+TEST(BytesTest, AddressHexRoundTrip) {
+  Address a = Address::FromId(0xdeadbeef);
+  std::optional<Address> b = Address::FromHex(a.ToHex());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a, *b);
+}
+
+// --- U256 arithmetic ---
+
+TEST(U256Test, BasicAddSub) {
+  U256 a(100);
+  U256 b(42);
+  EXPECT_EQ(a + b, U256(142));
+  EXPECT_EQ(a - b, U256(58));
+}
+
+TEST(U256Test, AddWraps) {
+  U256 max = ~U256{};
+  EXPECT_EQ(max + U256(1), U256{});
+  EXPECT_EQ(U256{} - U256(1), max);
+}
+
+TEST(U256Test, AddCarriesAcrossLimbs) {
+  U256 a(0, 0, 0, ~uint64_t{0});
+  EXPECT_EQ(a + U256(1), U256(0, 0, 1, 0));
+}
+
+TEST(U256Test, MulBasicAndWrap) {
+  EXPECT_EQ(U256(7) * U256(6), U256(42));
+  U256 two_to_128 = U256::Shl(128, U256(1));
+  EXPECT_EQ(two_to_128 * two_to_128, U256{});  // 2^256 wraps to zero.
+  EXPECT_EQ(U256(0, 0, 1, 0) * U256(0, 0, 1, 0), two_to_128);  // 2^64 * 2^64.
+  U256 two_to_255 = U256::Shl(255, U256(1));
+  EXPECT_EQ(two_to_255 * U256(2), U256{});
+}
+
+TEST(U256Test, DivMod) {
+  EXPECT_EQ(U256::Div(U256(100), U256(7)), U256(14));
+  EXPECT_EQ(U256::Mod(U256(100), U256(7)), U256(2));
+  EXPECT_EQ(U256::Div(U256(100), U256{}), U256{});  // EVM: div by zero is 0.
+  EXPECT_EQ(U256::Mod(U256(100), U256{}), U256{});
+  EXPECT_EQ(U256::Div(U256(5), U256(100)), U256{});
+  EXPECT_EQ(U256::Mod(U256(5), U256(100)), U256(5));
+}
+
+TEST(U256Test, DivLargeValues) {
+  U256 a = U256::Exp(U256(10), U256(40));
+  U256 b = U256::Exp(U256(10), U256(20));
+  EXPECT_EQ(U256::Div(a, b), b);
+  EXPECT_EQ(U256::Mod(a, b), U256{});
+  EXPECT_EQ(U256::Mod(a + U256(3), b), U256(3));
+}
+
+TEST(U256Test, SDivSemantics) {
+  U256 minus_ten = -U256(10);
+  EXPECT_EQ(U256::SDiv(minus_ten, U256(3)), -U256(3));
+  EXPECT_EQ(U256::SDiv(U256(10), -U256(3)), -U256(3));
+  EXPECT_EQ(U256::SDiv(minus_ten, -U256(3)), U256(3));
+  // SDIV(-2^255, -1) == -2^255 (the EVM's only signed-overflow case).
+  U256 int_min = U256::Shl(255, U256(1));
+  EXPECT_EQ(U256::SDiv(int_min, -U256(1)), int_min);
+  EXPECT_EQ(U256::SDiv(U256(1), U256{}), U256{});
+}
+
+TEST(U256Test, SModTakesDividendSign) {
+  EXPECT_EQ(U256::SMod(-U256(10), U256(3)), -U256(1));
+  EXPECT_EQ(U256::SMod(U256(10), -U256(3)), U256(1));
+  EXPECT_EQ(U256::SMod(-U256(10), -U256(3)), -U256(1));
+}
+
+TEST(U256Test, AddModMulMod) {
+  EXPECT_EQ(U256::AddMod(U256(10), U256(10), U256(7)), U256(6));
+  EXPECT_EQ(U256::MulMod(U256(10), U256(10), U256(7)), U256(2));
+  EXPECT_EQ(U256::AddMod(U256(10), U256(10), U256{}), U256{});
+  EXPECT_EQ(U256::MulMod(U256(10), U256(10), U256{}), U256{});
+  // The intermediate sum/product must not wrap at 2^256.
+  U256 max = ~U256{};
+  EXPECT_EQ(U256::AddMod(max, max, U256(12)), U256::Mod(U256::Mod(max, U256(12)) * U256(2), U256(12)));
+  EXPECT_EQ(U256::MulMod(max, max, max - U256(1)), U256(1));  // (n+1)^2 mod n == 1 for n = max-1.
+}
+
+TEST(U256Test, Exp) {
+  EXPECT_EQ(U256::Exp(U256(2), U256(10)), U256(1024));
+  EXPECT_EQ(U256::Exp(U256(0), U256(0)), U256(1));  // EVM: 0^0 == 1.
+  EXPECT_EQ(U256::Exp(U256(0), U256(5)), U256{});
+  EXPECT_EQ(U256::Exp(U256(2), U256(256)), U256{});  // Wraps.
+  EXPECT_EQ(U256::Exp(U256(3), U256(4)), U256(81));
+}
+
+TEST(U256Test, SignExtend) {
+  // 0xff at byte 0 sign-extends to -1.
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0xff)), ~U256{});
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0x7f)), U256(0x7f));
+  // Upper garbage is cleared when the sign bit is 0.
+  EXPECT_EQ(U256::SignExtend(U256(0), U256(0x170)), U256(0x70));
+  EXPECT_EQ(U256::SignExtend(U256(31), U256(0xff)), U256(0xff));
+  EXPECT_EQ(U256::SignExtend(U256(100), U256(0xff)), U256(0xff));
+}
+
+TEST(U256Test, ByteOp) {
+  U256 v = U256::FromString("0x0102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f20").value();
+  EXPECT_EQ(U256::Byte(U256(0), v), U256(0x01));
+  EXPECT_EQ(U256::Byte(U256(31), v), U256(0x20));
+  EXPECT_EQ(U256::Byte(U256(32), v), U256{});
+}
+
+TEST(U256Test, Shifts) {
+  EXPECT_EQ(U256::Shl(4, U256(1)), U256(16));
+  EXPECT_EQ(U256::Shr(4, U256(16)), U256(1));
+  EXPECT_EQ(U256::Shl(256, U256(1)), U256{});
+  EXPECT_EQ(U256::Shr(256, ~U256{}), U256{});
+  EXPECT_EQ(U256::Shl(64, U256(1)), U256(0, 0, 1, 0));
+  EXPECT_EQ(U256::Shr(64, U256(0, 0, 1, 0)), U256(1));
+  EXPECT_EQ(U256::Shl(130, U256(1)), U256(0, 4, 0, 0));
+}
+
+TEST(U256Test, Sar) {
+  EXPECT_EQ(U256::Sar(U256(1), -U256(4)), -U256(2));
+  EXPECT_EQ(U256::Sar(U256(1), U256(4)), U256(2));
+  EXPECT_EQ(U256::Sar(U256(300), -U256(1)), ~U256{});
+  EXPECT_EQ(U256::Sar(U256(300), U256(7)), U256{});
+  EXPECT_EQ(U256::Sar(U256(0), -U256(4)), -U256(4));
+}
+
+TEST(U256Test, Comparisons) {
+  EXPECT_TRUE(U256(1) < U256(2));
+  EXPECT_TRUE(U256(0, 0, 1, 0) > U256(~uint64_t{0}));
+  EXPECT_TRUE(U256::SLt(-U256(1), U256(0)));
+  EXPECT_FALSE(U256::SLt(U256(0), -U256(1)));
+  EXPECT_TRUE(U256::SLt(-U256(5), -U256(3)));
+}
+
+TEST(U256Test, BigEndianRoundTrip) {
+  U256 v = U256::FromString("0xdeadbeefcafebabe0123456789abcdef").value();
+  std::array<uint8_t, 32> be = v.ToBigEndian();
+  EXPECT_EQ(U256::FromBigEndian(BytesView(be.data(), be.size())), v);
+  // Short input is right-aligned (zero-extended on the left).
+  Bytes two = {0x01, 0x00};
+  EXPECT_EQ(U256::FromBigEndian(two), U256(256));
+}
+
+TEST(U256Test, AddressConversionTruncatesTo160Bits) {
+  U256 v = U256::FromString("0xffffffffffffffffffffffff1122334455667788990011223344556677889900")
+               .value();
+  EXPECT_EQ(v.ToAddress().ToHex(), "0x1122334455667788990011223344556677889900");
+  Address a = Address::FromId(7);
+  EXPECT_EQ(U256::FromAddress(a), U256(7));
+}
+
+TEST(U256Test, StringConversions) {
+  EXPECT_EQ(U256::FromString("12345").value(), U256(12345));
+  EXPECT_EQ(U256::FromString("0xff").value(), U256(255));
+  EXPECT_EQ(U256(255).ToHexString(), "0xff");
+  EXPECT_EQ(U256{}.ToString(), "0");
+  EXPECT_EQ(U256{}.ToHexString(), "0x0");
+  U256 big = U256::Exp(U256(10), U256(30));
+  EXPECT_EQ(big.ToString(), "1000000000000000000000000000000");
+  EXPECT_EQ(U256::FromString(big.ToString()).value(), big);
+  EXPECT_FALSE(U256::FromString("").has_value());
+  EXPECT_FALSE(U256::FromString("12a").has_value());
+  EXPECT_FALSE(U256::FromString("0x").has_value());
+  // 65 hex digits overflow.
+  EXPECT_FALSE(U256::FromString("0x1" + std::string(64, '0')).has_value());
+}
+
+TEST(U256Test, BitAndByteLength) {
+  EXPECT_EQ(U256{}.BitLength(), 0u);
+  EXPECT_EQ(U256(1).BitLength(), 1u);
+  EXPECT_EQ(U256(255).BitLength(), 8u);
+  EXPECT_EQ(U256(256).BitLength(), 9u);
+  EXPECT_EQ((~U256{}).BitLength(), 256u);
+  EXPECT_EQ(U256(255).ByteLength(), 1u);
+  EXPECT_EQ(U256(256).ByteLength(), 2u);
+}
+
+// Property sweep: EVM identities over pseudo-random values.
+class U256PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(U256PropertyTest, AlgebraicIdentities) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    U256 a(rng(), rng(), rng(), rng());
+    U256 b(rng(), rng(), rng(), rng());
+    U256 n(0, 0, rng(), rng());
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a - b, -(b - a));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_EQ(~~a, a);
+    if (!b.IsZero()) {
+      EXPECT_EQ(U256::Div(a, b) * b + U256::Mod(a, b), a);
+      EXPECT_TRUE(U256::Mod(a, b) < b);
+    }
+    if (!n.IsZero()) {
+      EXPECT_EQ(U256::AddMod(a, b, n), U256::Mod(U256::Mod(a, n) + U256::Mod(b, n), n));
+    }
+    EXPECT_EQ(U256::Shr(8, U256::Shl(8, U256::Shr(8, a))), U256::Shr(8, a));
+    std::array<uint8_t, 32> be = a.ToBigEndian();
+    EXPECT_EQ(U256::FromBigEndian(BytesView(be.data(), be.size())), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256PropertyTest, ::testing::Values(1, 2, 3, 42, 1337));
+
+// --- Keccak-256 (known-answer vectors) ---
+
+TEST(KeccakTest, EmptyInput) {
+  EXPECT_EQ(HexEncode(Keccak256({})),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(KeccakTest, Abc) {
+  Bytes abc = {'a', 'b', 'c'};
+  EXPECT_EQ(HexEncode(Keccak256(abc)),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(KeccakTest, Erc20TransferSelector) {
+  // keccak("transfer(address,uint256)")[0:4] == a9059cbb — the universally
+  // known ERC-20 selector; a strong end-to-end check of the permutation.
+  std::string sig = "transfer(address,uint256)";
+  Bytes data(sig.begin(), sig.end());
+  EXPECT_EQ(HexEncode(Keccak256(data)).substr(0, 8), "a9059cbb");
+}
+
+TEST(KeccakTest, MultiBlockInput) {
+  // > 136 bytes forces a second absorb round. Vector from OpenSSL KECCAK-256.
+  Bytes data(200, 0x61);  // 200 * 'a'
+  EXPECT_EQ(HexEncode(Keccak256(data)),
+            "96ea54061def936c4be90b518992fdc6f12f535068a256229aca54267b4d084d");
+}
+
+TEST(KeccakTest, ExactRateBoundary) {
+  // Exactly one full rate block; padding goes into a second block.
+  // Vector from OpenSSL KECCAK-256.
+  Bytes data(136, 0x00);
+  EXPECT_EQ(HexEncode(Keccak256(data)),
+            "3a5912a7c5faa06ee4fe906253e339467a9ce87d533c65be3c15cb231cdb25f9");
+}
+
+TEST(KeccakTest, MappingSlotMatchesManualConstruction) {
+  U256 key(0x1234);
+  U256 slot(2);
+  Bytes buf(64, 0);
+  std::array<uint8_t, 32> k = key.ToBigEndian();
+  std::array<uint8_t, 32> s = slot.ToBigEndian();
+  std::copy(k.begin(), k.end(), buf.begin());
+  std::copy(s.begin(), s.end(), buf.begin() + 32);
+  EXPECT_EQ(MappingSlot(key, slot), Keccak256Word(buf));
+  EXPECT_EQ(MappingSlot2(U256(1), U256(2), U256(3)), MappingSlot(U256(2), MappingSlot(U256(1), U256(3))));
+}
+
+// --- RLP (yellow-paper examples) ---
+
+TEST(RlpTest, SingleByte) {
+  Bytes dog = {'d', 'o', 'g'};
+  EXPECT_EQ(HexEncode(RlpEncodeBytes(dog)), "83646f67");
+  Bytes single = {0x0f};
+  EXPECT_EQ(HexEncode(RlpEncodeBytes(single)), "0f");
+  Bytes hi = {0x80};
+  EXPECT_EQ(HexEncode(RlpEncodeBytes(hi)), "8180");
+}
+
+TEST(RlpTest, EmptyStringAndZero) {
+  EXPECT_EQ(HexEncode(RlpEncodeBytes({})), "80");
+  EXPECT_EQ(HexEncode(RlpEncodeUint(U256{})), "80");
+  EXPECT_EQ(HexEncode(RlpEncodeUint(U256(15))), "0f");
+  EXPECT_EQ(HexEncode(RlpEncodeUint(U256(1024))), "820400");
+}
+
+TEST(RlpTest, List) {
+  std::vector<Bytes> items = {RlpEncodeBytes(Bytes{'c', 'a', 't'}),
+                              RlpEncodeBytes(Bytes{'d', 'o', 'g'})};
+  EXPECT_EQ(HexEncode(RlpEncodeList(items)), "c88363617483646f67");
+  EXPECT_EQ(HexEncode(RlpEncodeList({})), "c0");
+}
+
+TEST(RlpTest, LongString) {
+  std::string lorem = "Lorem ipsum dolor sit amet, consectetur adipisicing elit";
+  Bytes data(lorem.begin(), lorem.end());
+  Bytes enc = RlpEncodeBytes(data);
+  EXPECT_EQ(enc[0], 0xb8);
+  EXPECT_EQ(enc[1], data.size());
+  EXPECT_EQ(enc.size(), data.size() + 2);
+}
+
+TEST(RlpTest, LongList) {
+  std::vector<Bytes> items(30, RlpEncodeBytes(Bytes{'a', 'b', 'c'}));
+  Bytes enc = RlpEncodeList(items);
+  EXPECT_EQ(enc[0], 0xf8);
+  EXPECT_EQ(enc[1], 30 * 4);
+}
+
+// --- Zipf sampler ---
+
+TEST(ZipfTest, ProducesValidRange) {
+  std::mt19937_64 rng(7);
+  ZipfDistribution zipf(1000, 1.1);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t k = zipf(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewMatchesExpectation) {
+  std::mt19937_64 rng(7);
+  ZipfDistribution zipf(100000, 1.05);
+  std::map<uint64_t, int> counts;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    counts[zipf(rng)]++;
+  }
+  // Rank 1 must dominate, and the top 100 (0.1%) should carry a majority of
+  // the mass — the paper's hot-spot shape.
+  int top100 = 0;
+  for (uint64_t r = 1; r <= 100; ++r) {
+    top100 += counts.count(r) ? counts[r] : 0;
+  }
+  EXPECT_GT(counts[1], counts.count(2) ? counts[2] : 0);
+  EXPECT_GT(static_cast<double>(top100) / kSamples, 0.45);
+}
+
+TEST(ZipfTest, DegenerateSingleElement) {
+  std::mt19937_64 rng(7);
+  ZipfDistribution zipf(1, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(zipf(rng), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace pevm

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+#include "src/support/bytes.h"
+#include "src/trie/mpt.h"
+
+namespace pevm {
+namespace {
+
+Bytes B(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+TEST(MptTest, EmptyTrieHasCanonicalRoot) {
+  MerklePatriciaTrie trie;
+  // keccak(rlp("")) — the universally known empty-trie root.
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+}
+
+TEST(MptTest, SingleEntryKnownRoot) {
+  // From the canonical trie test suite ("singleItem"-style): the trie
+  // {"A": "aaaa.."x2} has a stable root; here we lock in our own computed
+  // value as a regression anchor and verify Get round-trips.
+  MerklePatriciaTrie trie;
+  trie.Put(B("A"), B("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"));
+  EXPECT_EQ(trie.Get(B("A")),
+            B("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"));
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "d23786fb4a010da3ce639d66d5e904a11dbc02746d1ce25029e53290cabf28ab");
+}
+
+TEST(MptTest, EthereumFooBarVector) {
+  // From the Ethereum cpp/go trie tests: {"foo": "bar", "food": "bass"}.
+  MerklePatriciaTrie trie;
+  trie.Put(B("foo"), B("bar"));
+  trie.Put(B("food"), B("bass"));
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "17beaa1648bafa633cda809c90c04af50fc8aed3cb40d16efbddee6fdf63c4c3");
+}
+
+TEST(MptTest, EthereumDogeVector) {
+  // From the Ethereum trie tests (puppy/coin/doge set, insertion order free).
+  MerklePatriciaTrie trie;
+  trie.Put(B("do"), B("verb"));
+  trie.Put(B("horse"), B("stallion"));
+  trie.Put(B("doge"), B("coin"));
+  trie.Put(B("dog"), B("puppy"));
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84");
+}
+
+TEST(MptTest, InsertionOrderDoesNotChangeRoot) {
+  std::vector<std::pair<Bytes, Bytes>> kvs = {
+      {B("do"), B("verb")}, {B("horse"), B("stallion")}, {B("doge"), B("coin")},
+      {B("dog"), B("puppy")}, {B("dodge"), B("car")},    {B("a"), B("x")},
+  };
+  MerklePatriciaTrie a;
+  for (const auto& [k, v] : kvs) {
+    a.Put(k, v);
+  }
+  MerklePatriciaTrie b;
+  for (auto it = kvs.rbegin(); it != kvs.rend(); ++it) {
+    b.Put(it->first, it->second);
+  }
+  EXPECT_EQ(HexEncode(a.RootHash()), HexEncode(b.RootHash()));
+}
+
+TEST(MptTest, ReplaceValueChangesRootAndKeepsSize) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("key"), B("one"));
+  Hash256 r1 = trie.RootHash();
+  trie.Put(B("key"), B("two"));
+  EXPECT_NE(HexEncode(r1), HexEncode(trie.RootHash()));
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_EQ(trie.Get(B("key")), B("two"));
+}
+
+TEST(MptTest, GetMissingKeys) {
+  MerklePatriciaTrie trie;
+  EXPECT_FALSE(trie.Get(B("nothing")).has_value());
+  trie.Put(B("doge"), B("coin"));
+  EXPECT_FALSE(trie.Get(B("dog")).has_value());   // Prefix of an existing key.
+  EXPECT_FALSE(trie.Get(B("doges")).has_value()); // Extension past a leaf.
+  EXPECT_FALSE(trie.Get(B("cat")).has_value());
+}
+
+TEST(MptTest, BranchValueHandling) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("dog"), B("puppy"));
+  trie.Put(B("doge"), B("coin"));   // "dog" value moves into the branch.
+  trie.Put(B("dogs"), B("many"));
+  EXPECT_EQ(trie.Get(B("dog")), B("puppy"));
+  EXPECT_EQ(trie.Get(B("doge")), B("coin"));
+  EXPECT_EQ(trie.Get(B("dogs")), B("many"));
+  EXPECT_EQ(trie.size(), 3u);
+}
+
+// Property test: the trie agrees with a std::map oracle and the root is a
+// pure function of contents.
+class MptPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MptPropertyTest, RandomKeyValueAgreement) {
+  std::mt19937_64 rng(GetParam());
+  std::map<Bytes, Bytes> oracle;
+  MerklePatriciaTrie trie;
+  for (int i = 0; i < 400; ++i) {
+    size_t key_len = 1 + rng() % 8;
+    Bytes key(key_len);
+    for (auto& b : key) {
+      b = static_cast<uint8_t>(rng() % 4);  // Small alphabet forces shared prefixes.
+    }
+    Bytes value = {static_cast<uint8_t>(rng() % 255 + 1)};
+    oracle[key] = value;
+    trie.Put(key, value);
+  }
+  EXPECT_EQ(trie.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(trie.Get(k), v) << HexEncode(k);
+  }
+  // Rebuild in sorted order: identical root.
+  MerklePatriciaTrie rebuilt;
+  for (const auto& [k, v] : oracle) {
+    rebuilt.Put(k, v);
+  }
+  EXPECT_EQ(HexEncode(trie.RootHash()), HexEncode(rebuilt.RootHash()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MptPropertyTest, ::testing::Values(11, 22, 33, 44));
+
+// --- Deletion. ---
+
+TEST(MptDeleteTest, DeleteRestoresPriorRoot) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("dog"), B("puppy"));
+  Hash256 before = trie.RootHash();
+  trie.Put(B("doge"), B("coin"));
+  EXPECT_TRUE(trie.Delete(B("doge")));
+  EXPECT_EQ(HexEncode(trie.RootHash()), HexEncode(before));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(MptDeleteTest, DeleteMissingKeyIsNoOp) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("dog"), B("puppy"));
+  Hash256 before = trie.RootHash();
+  EXPECT_FALSE(trie.Delete(B("cat")));
+  EXPECT_FALSE(trie.Delete(B("do")));     // Prefix of an existing key.
+  EXPECT_FALSE(trie.Delete(B("doggo")));  // Extension past a leaf.
+  EXPECT_EQ(HexEncode(trie.RootHash()), HexEncode(before));
+  EXPECT_EQ(trie.size(), 1u);
+}
+
+TEST(MptDeleteTest, DeleteToEmptyTrie) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("only"), B("one"));
+  EXPECT_TRUE(trie.Delete(B("only")));
+  EXPECT_EQ(trie.size(), 0u);
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+}
+
+TEST(MptDeleteTest, BranchCollapsesAfterDelete) {
+  // The canonical doge-set: removing entries must collapse branches back so
+  // the root equals a freshly built trie at every step.
+  std::vector<std::pair<Bytes, Bytes>> kvs = {
+      {B("do"), B("verb")}, {B("horse"), B("stallion")}, {B("doge"), B("coin")},
+      {B("dog"), B("puppy")},
+  };
+  MerklePatriciaTrie trie;
+  for (const auto& [k, v] : kvs) {
+    trie.Put(k, v);
+  }
+  // Delete in several orders; after each deletion, compare with a rebuild.
+  for (size_t victim = 0; victim < kvs.size(); ++victim) {
+    MerklePatriciaTrie mutated;
+    for (const auto& [k, v] : kvs) {
+      mutated.Put(k, v);
+    }
+    ASSERT_TRUE(mutated.Delete(kvs[victim].first));
+    MerklePatriciaTrie rebuilt;
+    for (size_t i = 0; i < kvs.size(); ++i) {
+      if (i != victim) {
+        rebuilt.Put(kvs[i].first, kvs[i].second);
+      }
+    }
+    EXPECT_EQ(HexEncode(mutated.RootHash()), HexEncode(rebuilt.RootHash()))
+        << "victim " << victim;
+    EXPECT_FALSE(mutated.Get(kvs[victim].first).has_value());
+  }
+}
+
+TEST(MptDeleteTest, BranchValueDeletion) {
+  MerklePatriciaTrie trie;
+  trie.Put(B("dog"), B("puppy"));
+  trie.Put(B("doge"), B("coin"));   // "dog"'s value lives in the branch.
+  trie.Put(B("dogs"), B("many"));
+  ASSERT_TRUE(trie.Delete(B("dog")));
+  EXPECT_FALSE(trie.Get(B("dog")).has_value());
+  EXPECT_EQ(trie.Get(B("doge")), B("coin"));
+  EXPECT_EQ(trie.Get(B("dogs")), B("many"));
+  MerklePatriciaTrie rebuilt;
+  rebuilt.Put(B("doge"), B("coin"));
+  rebuilt.Put(B("dogs"), B("many"));
+  EXPECT_EQ(HexEncode(trie.RootHash()), HexEncode(rebuilt.RootHash()));
+}
+
+class MptDeletePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MptDeletePropertyTest, RandomInsertDeleteAgainstOracle) {
+  std::mt19937_64 rng(GetParam());
+  std::map<Bytes, Bytes> oracle;
+  MerklePatriciaTrie trie;
+  for (int step = 0; step < 600; ++step) {
+    size_t key_len = 1 + rng() % 6;
+    Bytes key(key_len);
+    for (auto& b : key) {
+      b = static_cast<uint8_t>(rng() % 3);  // Tiny alphabet: deep sharing.
+    }
+    if (rng() % 3 != 0) {
+      Bytes value = {static_cast<uint8_t>(rng() % 255 + 1)};
+      oracle[key] = value;
+      trie.Put(key, value);
+    } else {
+      bool oracle_had = oracle.erase(key) > 0;
+      EXPECT_EQ(trie.Delete(key), oracle_had) << HexEncode(key);
+    }
+  }
+  ASSERT_EQ(trie.size(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    ASSERT_EQ(trie.Get(k), v) << HexEncode(k);
+  }
+  // Content addressing: a freshly built trie has the identical root.
+  MerklePatriciaTrie rebuilt;
+  for (const auto& [k, v] : oracle) {
+    rebuilt.Put(k, v);
+  }
+  EXPECT_EQ(HexEncode(trie.RootHash()), HexEncode(rebuilt.RootHash()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MptDeletePropertyTest, ::testing::Values(7, 17, 27, 37, 47));
+
+}  // namespace
+}  // namespace pevm
