@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_redo"
+  "../bench/ablation_redo.pdb"
+  "CMakeFiles/ablation_redo.dir/ablation_redo.cc.o"
+  "CMakeFiles/ablation_redo.dir/ablation_redo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_threads"
+  "../bench/fig10_threads.pdb"
+  "CMakeFiles/fig10_threads.dir/fig10_threads.cc.o"
+  "CMakeFiles/fig10_threads.dir/fig10_threads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

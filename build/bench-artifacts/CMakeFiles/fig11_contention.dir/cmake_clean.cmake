@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_contention"
+  "../bench/fig11_contention.pdb"
+  "CMakeFiles/fig11_contention.dir/fig11_contention.cc.o"
+  "CMakeFiles/fig11_contention.dir/fig11_contention.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_blocksize"
+  "../bench/fig12_blocksize.pdb"
+  "CMakeFiles/fig12_blocksize.dir/fig12_blocksize.cc.o"
+  "CMakeFiles/fig12_blocksize.dir/fig12_blocksize.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_hotspots"
+  "../bench/fig3_hotspots.pdb"
+  "CMakeFiles/fig3_hotspots.dir/fig3_hotspots.cc.o"
+  "CMakeFiles/fig3_hotspots.dir/fig3_hotspots.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

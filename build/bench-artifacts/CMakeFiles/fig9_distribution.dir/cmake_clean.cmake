@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_distribution"
+  "../bench/fig9_distribution.pdb"
+  "CMakeFiles/fig9_distribution.dir/fig9_distribution.cc.o"
+  "CMakeFiles/fig9_distribution.dir/fig9_distribution.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

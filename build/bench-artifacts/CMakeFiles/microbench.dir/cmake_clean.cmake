@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/microbench"
+  "../bench/microbench.pdb"
+  "CMakeFiles/microbench.dir/microbench.cc.o"
+  "CMakeFiles/microbench.dir/microbench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/overhead_analysis"
+  "../bench/overhead_analysis.pdb"
+  "CMakeFiles/overhead_analysis.dir/overhead_analysis.cc.o"
+  "CMakeFiles/overhead_analysis.dir/overhead_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/preexec_speedup"
+  "../bench/preexec_speedup.pdb"
+  "CMakeFiles/preexec_speedup.dir/preexec_speedup.cc.o"
+  "CMakeFiles/preexec_speedup.dir/preexec_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preexec_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/schedule_validator.cc" "bench-artifacts/CMakeFiles/schedule_validator.dir/schedule_validator.cc.o" "gcc" "bench-artifacts/CMakeFiles/schedule_validator.dir/schedule_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pevm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pevm_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pevm_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/pevm_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pevm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/pevm_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/pevm_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/pevm_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pevm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/schedule_validator"
+  "../bench/schedule_validator.pdb"
+  "CMakeFiles/schedule_validator.dir/schedule_validator.cc.o"
+  "CMakeFiles/schedule_validator.dir/schedule_validator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

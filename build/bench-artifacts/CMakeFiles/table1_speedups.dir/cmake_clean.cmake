@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_speedups"
+  "../bench/table1_speedups.pdb"
+  "CMakeFiles/table1_speedups.dir/table1_speedups.cc.o"
+  "CMakeFiles/table1_speedups.dir/table1_speedups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

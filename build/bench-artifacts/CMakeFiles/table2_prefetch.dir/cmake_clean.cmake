@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_prefetch"
+  "../bench/table2_prefetch.pdb"
+  "CMakeFiles/table2_prefetch.dir/table2_prefetch.cc.o"
+  "CMakeFiles/table2_prefetch.dir/table2_prefetch.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/block_replay"
+  "../examples/block_replay.pdb"
+  "CMakeFiles/block_replay.dir/block_replay.cpp.o"
+  "CMakeFiles/block_replay.dir/block_replay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

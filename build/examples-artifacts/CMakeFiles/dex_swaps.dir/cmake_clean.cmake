@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dex_swaps"
+  "../examples/dex_swaps.pdb"
+  "CMakeFiles/dex_swaps.dir/dex_swaps.cpp.o"
+  "CMakeFiles/dex_swaps.dir/dex_swaps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dex_swaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

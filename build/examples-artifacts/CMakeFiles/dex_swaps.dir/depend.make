@@ -1,0 +1,2 @@
+# Empty dependencies file for dex_swaps.
+# This may be replaced when dependencies are built.

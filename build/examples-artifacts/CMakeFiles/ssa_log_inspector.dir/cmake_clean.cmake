@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ssa_log_inspector"
+  "../examples/ssa_log_inspector.pdb"
+  "CMakeFiles/ssa_log_inspector.dir/ssa_log_inspector.cpp.o"
+  "CMakeFiles/ssa_log_inspector.dir/ssa_log_inspector.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_log_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_baselines.dir/block_stm.cc.o"
+  "CMakeFiles/pevm_baselines.dir/block_stm.cc.o.d"
+  "CMakeFiles/pevm_baselines.dir/occ.cc.o"
+  "CMakeFiles/pevm_baselines.dir/occ.cc.o.d"
+  "CMakeFiles/pevm_baselines.dir/serial.cc.o"
+  "CMakeFiles/pevm_baselines.dir/serial.cc.o.d"
+  "CMakeFiles/pevm_baselines.dir/two_phase_locking.cc.o"
+  "CMakeFiles/pevm_baselines.dir/two_phase_locking.cc.o.d"
+  "libpevm_baselines.a"
+  "libpevm_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

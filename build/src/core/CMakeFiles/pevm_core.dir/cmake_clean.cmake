@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_core.dir/oplog_printer.cc.o"
+  "CMakeFiles/pevm_core.dir/oplog_printer.cc.o.d"
+  "CMakeFiles/pevm_core.dir/parallel_evm.cc.o"
+  "CMakeFiles/pevm_core.dir/parallel_evm.cc.o.d"
+  "CMakeFiles/pevm_core.dir/redo.cc.o"
+  "CMakeFiles/pevm_core.dir/redo.cc.o.d"
+  "CMakeFiles/pevm_core.dir/scheduled.cc.o"
+  "CMakeFiles/pevm_core.dir/scheduled.cc.o.d"
+  "CMakeFiles/pevm_core.dir/ssa_builder.cc.o"
+  "CMakeFiles/pevm_core.dir/ssa_builder.cc.o.d"
+  "libpevm_core.a"
+  "libpevm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_evm.dir/eval.cc.o"
+  "CMakeFiles/pevm_evm.dir/eval.cc.o.d"
+  "CMakeFiles/pevm_evm.dir/interpreter.cc.o"
+  "CMakeFiles/pevm_evm.dir/interpreter.cc.o.d"
+  "CMakeFiles/pevm_evm.dir/opcode.cc.o"
+  "CMakeFiles/pevm_evm.dir/opcode.cc.o.d"
+  "libpevm_evm.a"
+  "libpevm_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pevm_evm.
+# This may be replaced when dependencies are built.

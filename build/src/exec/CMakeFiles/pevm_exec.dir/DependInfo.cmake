@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/apply.cc" "src/exec/CMakeFiles/pevm_exec.dir/apply.cc.o" "gcc" "src/exec/CMakeFiles/pevm_exec.dir/apply.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evm/CMakeFiles/pevm_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/pevm_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pevm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/pevm_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pevm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_exec.dir/apply.cc.o"
+  "CMakeFiles/pevm_exec.dir/apply.cc.o.d"
+  "libpevm_exec.a"
+  "libpevm_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_sim.dir/cost_model.cc.o"
+  "CMakeFiles/pevm_sim.dir/cost_model.cc.o.d"
+  "libpevm_sim.a"
+  "libpevm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/state/state_view.cc" "src/state/CMakeFiles/pevm_state.dir/state_view.cc.o" "gcc" "src/state/CMakeFiles/pevm_state.dir/state_view.cc.o.d"
+  "/root/repo/src/state/world_state.cc" "src/state/CMakeFiles/pevm_state.dir/world_state.cc.o" "gcc" "src/state/CMakeFiles/pevm_state.dir/world_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pevm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/pevm_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

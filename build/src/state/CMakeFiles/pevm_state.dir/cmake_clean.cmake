@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_state.dir/state_view.cc.o"
+  "CMakeFiles/pevm_state.dir/state_view.cc.o.d"
+  "CMakeFiles/pevm_state.dir/world_state.cc.o"
+  "CMakeFiles/pevm_state.dir/world_state.cc.o.d"
+  "libpevm_state.a"
+  "libpevm_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

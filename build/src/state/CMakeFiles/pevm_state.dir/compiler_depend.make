@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pevm_state.
+# This may be replaced when dependencies are built.

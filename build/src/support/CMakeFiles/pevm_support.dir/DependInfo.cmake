@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/bytes.cc" "src/support/CMakeFiles/pevm_support.dir/bytes.cc.o" "gcc" "src/support/CMakeFiles/pevm_support.dir/bytes.cc.o.d"
+  "/root/repo/src/support/keccak.cc" "src/support/CMakeFiles/pevm_support.dir/keccak.cc.o" "gcc" "src/support/CMakeFiles/pevm_support.dir/keccak.cc.o.d"
+  "/root/repo/src/support/rlp.cc" "src/support/CMakeFiles/pevm_support.dir/rlp.cc.o" "gcc" "src/support/CMakeFiles/pevm_support.dir/rlp.cc.o.d"
+  "/root/repo/src/support/u256.cc" "src/support/CMakeFiles/pevm_support.dir/u256.cc.o" "gcc" "src/support/CMakeFiles/pevm_support.dir/u256.cc.o.d"
+  "/root/repo/src/support/zipf.cc" "src/support/CMakeFiles/pevm_support.dir/zipf.cc.o" "gcc" "src/support/CMakeFiles/pevm_support.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_support.dir/bytes.cc.o"
+  "CMakeFiles/pevm_support.dir/bytes.cc.o.d"
+  "CMakeFiles/pevm_support.dir/keccak.cc.o"
+  "CMakeFiles/pevm_support.dir/keccak.cc.o.d"
+  "CMakeFiles/pevm_support.dir/rlp.cc.o"
+  "CMakeFiles/pevm_support.dir/rlp.cc.o.d"
+  "CMakeFiles/pevm_support.dir/u256.cc.o"
+  "CMakeFiles/pevm_support.dir/u256.cc.o.d"
+  "CMakeFiles/pevm_support.dir/zipf.cc.o"
+  "CMakeFiles/pevm_support.dir/zipf.cc.o.d"
+  "libpevm_support.a"
+  "libpevm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_trie.dir/mpt.cc.o"
+  "CMakeFiles/pevm_trie.dir/mpt.cc.o.d"
+  "libpevm_trie.a"
+  "libpevm_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpevm_trie.a"
+)

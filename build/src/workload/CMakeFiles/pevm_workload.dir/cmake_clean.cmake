@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pevm_workload.dir/assembler.cc.o"
+  "CMakeFiles/pevm_workload.dir/assembler.cc.o.d"
+  "CMakeFiles/pevm_workload.dir/block_gen.cc.o"
+  "CMakeFiles/pevm_workload.dir/block_gen.cc.o.d"
+  "CMakeFiles/pevm_workload.dir/contracts.cc.o"
+  "CMakeFiles/pevm_workload.dir/contracts.cc.o.d"
+  "libpevm_workload.a"
+  "libpevm_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pevm_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

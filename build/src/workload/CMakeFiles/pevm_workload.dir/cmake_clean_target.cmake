@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpevm_workload.a"
+)

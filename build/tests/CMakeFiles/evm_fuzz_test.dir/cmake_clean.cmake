@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_fuzz_test.dir/evm_fuzz_test.cc.o"
+  "CMakeFiles/evm_fuzz_test.dir/evm_fuzz_test.cc.o.d"
+  "evm_fuzz_test"
+  "evm_fuzz_test.pdb"
+  "evm_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_opcode_test.dir/evm_opcode_test.cc.o"
+  "CMakeFiles/evm_opcode_test.dir/evm_opcode_test.cc.o.d"
+  "evm_opcode_test"
+  "evm_opcode_test.pdb"
+  "evm_opcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_opcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

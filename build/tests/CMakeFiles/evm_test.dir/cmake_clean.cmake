@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evm_test.dir/evm_test.cc.o"
+  "CMakeFiles/evm_test.dir/evm_test.cc.o.d"
+  "evm_test"
+  "evm_test.pdb"
+  "evm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

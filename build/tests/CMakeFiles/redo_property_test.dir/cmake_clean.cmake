@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redo_property_test.dir/redo_property_test.cc.o"
+  "CMakeFiles/redo_property_test.dir/redo_property_test.cc.o.d"
+  "redo_property_test"
+  "redo_property_test.pdb"
+  "redo_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

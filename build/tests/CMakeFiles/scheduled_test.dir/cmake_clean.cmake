@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduled_test.dir/scheduled_test.cc.o"
+  "CMakeFiles/scheduled_test.dir/scheduled_test.cc.o.d"
+  "scheduled_test"
+  "scheduled_test.pdb"
+  "scheduled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

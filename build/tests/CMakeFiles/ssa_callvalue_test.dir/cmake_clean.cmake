@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssa_callvalue_test.dir/ssa_callvalue_test.cc.o"
+  "CMakeFiles/ssa_callvalue_test.dir/ssa_callvalue_test.cc.o.d"
+  "ssa_callvalue_test"
+  "ssa_callvalue_test.pdb"
+  "ssa_callvalue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_callvalue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssa_crosscontract_test.dir/ssa_crosscontract_test.cc.o"
+  "CMakeFiles/ssa_crosscontract_test.dir/ssa_crosscontract_test.cc.o.d"
+  "ssa_crosscontract_test"
+  "ssa_crosscontract_test.pdb"
+  "ssa_crosscontract_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssa_crosscontract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

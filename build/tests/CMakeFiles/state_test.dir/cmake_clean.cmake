@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_test.dir/state_test.cc.o"
+  "CMakeFiles/state_test.dir/state_test.cc.o.d"
+  "state_test"
+  "state_test.pdb"
+  "state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trie_test.dir/trie_test.cc.o"
+  "CMakeFiles/trie_test.dir/trie_test.cc.o.d"
+  "trie_test"
+  "trie_test.pdb"
+  "trie_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trie_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/state_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_test[1]_include.cmake")
+include("/root/repo/build/tests/ssa_test[1]_include.cmake")
+include("/root/repo/build/tests/equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/ssa_crosscontract_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_opcode_test[1]_include.cmake")
+include("/root/repo/build/tests/redo_property_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduled_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/ssa_callvalue_test[1]_include.cmake")
