@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI entry guarding the concurrent read phase: builds the tree with
+# -fsanitize=thread (PEVM_SANITIZE=thread) and runs the test binaries that
+# drive the thread-pool pipeline hard. Any data race in the parallel
+# speculation path fails the script.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target determinism_test executor_test equivalence_test scheduled_test
+
+for t in determinism_test executor_test equivalence_test scheduled_test; do
+  echo "== TSan: $t =="
+  "./$BUILD_DIR/tests/$t"
+done
+echo "ThreadSanitizer: all executor suites clean."

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/exec/apply.h"
+#include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 
 namespace pevm {
@@ -125,6 +126,7 @@ struct InFlight {
 }  // namespace
 
 BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
+  WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
   BlockReport report;
@@ -349,12 +351,15 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     inflight.push(std::move(fl));
   }
 
+  report.read_wall_ns = block_timer.ElapsedNs();
+
   // --- Commit sweep: verify each transaction's reads against the now-
   // committed state by value, then apply its write set in block order. At
   // quiescence Block-STM guarantees consistency, so re-executions here are
   // a correctness net for the livelock-guard path only. The sweep pipelines
   // with the scheduler: committing transaction j waits only for j's own
   // final execution (and the preceding commits), not the whole DES.
+  WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
   for (int j = 0; j < n; ++j) {
@@ -372,25 +377,17 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     }
     if (!consistent) {
       ++report.full_reexecutions;
-      StateView view(state);
-      tx_state.receipt =
-          ApplyTransaction(view, block.context, block.transactions[static_cast<size_t>(j)]);
-      uint64_t total_reads = TotalReadOps(tx_state.receipt.stats);
-      uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
-      t += cost.ExecutionCost(tx_state.receipt.stats, cold, total_reads - cold,
-                              /*with_ssa=*/false);
-      tx_state.writes = view.take_write_set();
+      t += FullReexecute(block, static_cast<size_t>(j), state, cache, cost, fees, report);
+      continue;
     }
-    if (tx_state.receipt.valid) {
-      t += cost.CommitCost(tx_state.writes.size());
-      state.Apply(tx_state.writes);
-      fees = fees + tx_state.receipt.fee;
-    }
-    report.receipts.push_back(tx_state.receipt);
+    t += CommitResult(std::move(tx_state.receipt), std::move(tx_state.writes), state, cost,
+                      fees, report);
   }
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;
+  report.commit_wall_ns = commit_timer.ElapsedNs();
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

@@ -1,68 +1,35 @@
 #include "src/baselines/occ.h"
 
-#include <vector>
+#include <algorithm>
 
-#include "src/exec/apply.h"
-#include "src/state/state_view.h"
+#include "src/exec/pipeline.h"
 
 namespace pevm {
-namespace {
-
-struct Speculation {
-  Receipt receipt;
-  ReadSet reads;
-  WriteSet writes;
-};
-
-}  // namespace
 
 BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
+  WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
   BlockReport report;
   size_t n = block.transactions.size();
 
-  // Read phase.
-  std::vector<Speculation> specs(n);
-  std::vector<uint64_t> durations(n);
-  for (size_t i = 0; i < n; ++i) {
-    StateView view(state);
-    Speculation& spec = specs[i];
-    spec.receipt = ApplyTransaction(view, block.context, block.transactions[i]);
-    spec.reads = view.read_set();
-    spec.writes = view.take_write_set();
-    uint64_t total_reads = TotalReadOps(spec.receipt.stats);
-    uint64_t cold = std::min(cache.Touch(spec.reads), total_reads);
-    durations[i] =
-        cost.ExecutionCost(spec.receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
-    report.instructions += spec.receipt.stats.instructions;
-  }
+  // Read phase (no operation logs: OCC cannot repair, only restart).
+  ReadPhase read = RunReadPhase(block, state, SpecMode::kPlain, cache, cost,
+                                options_.os_threads, report);
   ScheduleResult schedule =
-      ListSchedule(durations, options_.threads, options_.cost.dispatch_ns);
+      ListSchedule(read.durations, options_.threads, options_.cost.dispatch_ns);
 
   // Validate-and-commit loop.
+  WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
   for (size_t i = 0; i < n; ++i) {
-    Speculation& spec = specs[i];
+    Speculation& spec = read.specs[i];
     t = std::max(t, schedule.finish[i]);
     t += cost.ValidationCost(spec.reads.size());
 
-    bool conflict = false;
-    for (const auto& [key, observed] : spec.reads) {
-      if (state.Get(key) != observed) {
-        conflict = true;
-        break;
-      }
-    }
-
-    if (!conflict) {
-      if (spec.receipt.valid) {
-        t += cost.CommitCost(spec.writes.size());
-        state.Apply(spec.writes);
-        fees = fees + spec.receipt.fee;
-      }
-      report.receipts.push_back(std::move(spec.receipt));
+    if (FindConflicts(spec.reads, state).empty()) {
+      t += CommitSpeculation(spec, state, cost, fees, report);
       continue;
     }
 
@@ -70,22 +37,13 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
     // path (transaction-level conflict resolution).
     ++report.conflicts;
     ++report.full_reexecutions;
-    StateView view(state);
-    Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
-    uint64_t total_reads = TotalReadOps(receipt.stats);
-    uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
-    t += cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
-    report.instructions += receipt.stats.instructions;
-    if (receipt.valid) {
-      t += cost.CommitCost(view.write_set().size());
-      state.Apply(view.write_set());
-      fees = fees + receipt.fee;
-    }
-    report.receipts.push_back(std::move(receipt));
+    t += FullReexecute(block, i, state, cache, cost, fees, report);
   }
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;
+  report.commit_wall_ns = commit_timer.ElapsedNs();
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

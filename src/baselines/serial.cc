@@ -1,11 +1,13 @@
 #include "src/baselines/serial.h"
 
 #include "src/exec/apply.h"
+#include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 
 namespace pevm {
 
 BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
+  WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
   BlockReport report;
@@ -28,6 +30,7 @@ BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
   }
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t;
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

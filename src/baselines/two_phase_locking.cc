@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/exec/apply.h"
+#include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 
 namespace pevm {
@@ -53,6 +54,7 @@ struct Event {
 }  // namespace
 
 BlockReport TwoPhaseLockingExecutor::Execute(const Block& block, WorldState& state) {
+  WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
   BlockReport report;
@@ -235,6 +237,7 @@ BlockReport TwoPhaseLockingExecutor::Execute(const Block& block, WorldState& sta
 
   report.conflicts = report.lock_aborts;
   report.makespan_ns = makespan + options_.cost.per_block_ns;
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

@@ -1,96 +1,49 @@
 #include "src/core/parallel_evm.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/core/redo.h"
-#include "src/core/ssa_builder.h"
-#include "src/exec/apply.h"
-#include "src/state/state_view.h"
+#include "src/exec/pipeline.h"
 
 namespace pevm {
-namespace {
-
-struct Speculation {
-  Receipt receipt;
-  ReadSet reads;
-  WriteSet writes;
-  TxLog log;
-};
-
-}  // namespace
 
 BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) {
+  WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
   BlockReport report;
   size_t n = block.transactions.size();
 
-  // --- Read phase: speculative execution against the block-start state,
-  // recording read/write sets and generating SSA operation logs. ---
-  std::vector<Speculation> specs(n);
-  std::vector<uint64_t> durations(n);
-  for (size_t i = 0; i < n; ++i) {
-    const Transaction& tx = block.transactions[i];
-    StateView view(state);
-    SsaBuilder builder;
-    Speculation& spec = specs[i];
-    spec.receipt = ApplyTransaction(view, block.context, tx, &builder);
-    if (!spec.receipt.valid) {
-      builder.MarkNotRedoable();
-    }
-    spec.log = builder.TakeLog();
-    spec.reads = view.read_set();
-    spec.writes = view.take_write_set();
-    uint64_t total_reads = TotalReadOps(spec.receipt.stats);
-    uint64_t cold = std::min(cache.Touch(spec.reads), total_reads);
-    durations[i] =
-        cost.ExecutionCost(spec.receipt.stats, cold, total_reads - cold, /*with_ssa=*/true);
-    report.oplog_entries += spec.log.size();
-    report.instructions += spec.receipt.stats.instructions;
-  }
+  // --- Read phase: speculative execution against the block-start state on
+  // real OS threads, recording read/write sets and SSA operation logs. ---
+  ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
+                                options_.os_threads, report);
   ScheduleResult schedule = pre_execution_
                                 ? ScheduleResult{std::vector<uint64_t>(n, 0), 0}
-                                : ListSchedule(durations, options_.threads,
+                                : ListSchedule(read.durations, options_.threads,
                                                options_.cost.dispatch_ns);
 
   // --- Commit loop: validate -> redo -> write, in block order. ---
+  WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
-    Speculation& spec = specs[i];
+    Speculation& spec = read.specs[i];
     t = std::max(t, schedule.finish[i]);
     t += cost.ValidationCost(spec.reads.size());
 
-    ConflictMap conflicts;
-    for (const auto& [key, observed] : spec.reads) {
-      U256 current = state.Get(key);
-      if (current != observed) {
-        conflicts.emplace(key, current);
-      }
-    }
-
+    ConflictMap conflicts = FindConflicts(spec.reads, state);
     if (conflicts.empty()) {
-      if (spec.receipt.valid) {
-        t += cost.CommitCost(spec.writes.size());
-        state.Apply(spec.writes);
-        fees = fees + spec.receipt.fee;
-      }
-      report.receipts.push_back(std::move(spec.receipt));
+      t += CommitSpeculation(spec, state, cost, fees, report);
       continue;
     }
 
     ++report.conflicts;
     RedoResult redo = RunRedo(spec.log, conflicts, committed);
     if (redo.success) {
-      ++report.redo_success;
-      report.redo_entries_reexecuted += redo.reexecuted;
-      uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
-      report.redo_ns += redo_ns;
-      t += redo_ns + cost.CommitCost(redo.write_set.size());
-      state.Apply(redo.write_set);
-      fees = fees + spec.receipt.fee;
-      report.receipts.push_back(std::move(spec.receipt));
+      t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
       continue;
     }
 
@@ -99,27 +52,16 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
     // DFS and partial re-execution still cost time on the commit path.
     if (spec.log.redoable) {
       ++report.redo_fail;
-      uint64_t wasted = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
-      report.redo_ns += wasted;
-      t += wasted;
+      t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
-    StateView view(state);
-    Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
-    uint64_t total_reads = TotalReadOps(receipt.stats);
-    uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
-    t += cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
-    report.instructions += receipt.stats.instructions;
-    if (receipt.valid) {
-      t += cost.CommitCost(view.write_set().size());
-      state.Apply(view.write_set());
-      fees = fees + receipt.fee;
-    }
-    report.receipts.push_back(std::move(receipt));
+    t += FullReexecute(block, i, state, cache, cost, fees, report);
   }
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;
+  report.commit_wall_ns = commit_timer.ElapsedNs();
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

@@ -1,62 +1,24 @@
 #include "src/core/scheduled.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "src/core/redo.h"
-#include "src/core/ssa_builder.h"
-#include "src/exec/apply.h"
-#include "src/state/state_view.h"
+#include "src/exec/pipeline.h"
 
 namespace pevm {
 namespace {
 
-struct Speculation {
-  Receipt receipt;
-  ReadSet reads;
-  WriteSet writes;
-  TxLog log;
-};
-
-Speculation Speculate(const WorldState& state, const BlockContext& context,
-                      const Transaction& tx, bool with_log) {
-  Speculation spec;
-  StateView view(state);
-  if (with_log) {
-    SsaBuilder builder;
-    spec.receipt = ApplyTransaction(view, context, tx, &builder);
-    if (!spec.receipt.valid) {
-      builder.MarkNotRedoable();
-    }
-    spec.log = builder.TakeLog();
-  } else {
-    spec.receipt = ApplyTransaction(view, context, tx);
-  }
-  spec.reads = view.read_set();
-  spec.writes = view.take_write_set();
-  return spec;
-}
-
-// Serial commit-path re-execution shared by both sides.
-uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
-                       const CostModel& cost, U256& fees, BlockReport& report) {
-  StateView view(state);
-  Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
-  uint64_t total_reads = TotalReadOps(receipt.stats);
-  uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
-  uint64_t t = cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
-  report.instructions += receipt.stats.instructions;
-  if (receipt.valid) {
-    t += cost.CommitCost(view.write_set().size());
-    state.Apply(view.write_set());
-    fees = fees + receipt.fee;
-  }
-  report.receipts.push_back(std::move(receipt));
-  return t;
+TxSchedule::Plan PlanFor(const BlockSchedule& schedule, size_t i) {
+  // A missing/short schedule degrades to serial re-execution.
+  return i < schedule.transactions.size() ? schedule.transactions[i].plan
+                                          : TxSchedule::Plan::kFallback;
 }
 
 }  // namespace
 
 ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOptions& options) {
+  WallTimer block_timer;
   CostModel cost(options.cost);
   StateCache cache(options.prefetch);
   ProposalResult result;
@@ -64,43 +26,24 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
   size_t n = block.transactions.size();
   result.schedule.transactions.resize(n);
 
-  std::vector<Speculation> specs(n);
-  std::vector<uint64_t> durations(n);
-  for (size_t i = 0; i < n; ++i) {
-    specs[i] = Speculate(state, block.context, block.transactions[i], /*with_log=*/true);
-    uint64_t total_reads = TotalReadOps(specs[i].receipt.stats);
-    uint64_t cold = std::min(cache.Touch(specs[i].reads), total_reads);
-    durations[i] =
-        cost.ExecutionCost(specs[i].receipt.stats, cold, total_reads - cold, /*with_ssa=*/true);
-    report.oplog_entries += specs[i].log.size();
-    report.instructions += specs[i].receipt.stats.instructions;
-  }
-  ScheduleResult sched = ListSchedule(durations, options.threads, options.cost.dispatch_ns);
+  ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
+                                options.os_threads, report);
+  ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
+  WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
-    Speculation& spec = specs[i];
+    Speculation& spec = read.specs[i];
     TxSchedule& plan = result.schedule.transactions[i];
     t = std::max(t, sched.finish[i]);
     t += cost.ValidationCost(spec.reads.size());
 
-    ConflictMap conflicts;
-    for (const auto& [key, observed] : spec.reads) {
-      U256 current = state.Get(key);
-      if (current != observed) {
-        conflicts.emplace(key, current);
-      }
-    }
+    ConflictMap conflicts = FindConflicts(spec.reads, state);
     if (conflicts.empty()) {
       plan.plan = TxSchedule::Plan::kClean;
-      if (spec.receipt.valid) {
-        t += cost.CommitCost(spec.writes.size());
-        state.Apply(spec.writes);
-        fees = fees + spec.receipt.fee;
-      }
-      report.receipts.push_back(std::move(spec.receipt));
+      t += CommitSpeculation(spec, state, cost, fees, report);
       continue;
     }
     ++report.conflicts;
@@ -111,30 +54,29 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
       for (const auto& [key, value] : conflicts) {
         plan.conflict_keys.push_back(key);
       }
-      ++report.redo_success;
-      report.redo_entries_reexecuted += redo.reexecuted;
-      uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
-      report.redo_ns += redo_ns;
-      t += redo_ns + cost.CommitCost(redo.write_set.size());
-      state.Apply(redo.write_set);
-      fees = fees + spec.receipt.fee;
-      report.receipts.push_back(std::move(spec.receipt));
+      t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
       continue;
     }
     plan.plan = TxSchedule::Plan::kFallback;
     if (spec.log.redoable) {
       ++report.redo_fail;
+      // The proposer pays for the failed redo attempt exactly like the plain
+      // executor, so proposer and plain-executor makespans agree.
+      t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
     t += FullReexecute(block, i, state, cache, cost, fees, report);
   }
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options.cost.per_block_ns;
+  report.commit_wall_ns = commit_timer.ElapsedNs();
+  report.wall_ns = block_timer.ElapsedNs();
   return result;
 }
 
 BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedule,
                                 WorldState& state, const ExecOptions& options, bool paranoid) {
+  WallTimer block_timer;
   CostModel cost(options.cost);
   StateCache cache(options.prefetch);
   BlockReport report;
@@ -142,49 +84,41 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
 
   // Read phase: SSA logs are generated only for transactions the schedule
   // marks kRedo (a validator-side saving the plain executor cannot make);
-  // kFallback transactions skip speculation entirely.
-  std::vector<Speculation> specs(n);
-  std::vector<uint64_t> durations(n, 0);
+  // kFallback transactions skip speculation entirely unless paranoid mode
+  // wants their read sets for verification.
+  std::vector<SpecMode> modes(n, SpecMode::kPlain);
   for (size_t i = 0; i < n; ++i) {
-    TxSchedule::Plan plan = i < schedule.transactions.size()
-                                ? schedule.transactions[i].plan
-                                : TxSchedule::Plan::kFallback;
-    if (plan == TxSchedule::Plan::kFallback && !paranoid) {
-      continue;
+    switch (PlanFor(schedule, i)) {
+      case TxSchedule::Plan::kClean:
+        break;
+      case TxSchedule::Plan::kRedo:
+        modes[i] = SpecMode::kWithLog;
+        break;
+      case TxSchedule::Plan::kFallback:
+        if (!paranoid) {
+          modes[i] = SpecMode::kSkip;
+        }
+        break;
     }
-    bool with_log = plan == TxSchedule::Plan::kRedo;
-    specs[i] = Speculate(state, block.context, block.transactions[i], with_log);
-    uint64_t total_reads = TotalReadOps(specs[i].receipt.stats);
-    uint64_t cold = std::min(cache.Touch(specs[i].reads), total_reads);
-    durations[i] =
-        cost.ExecutionCost(specs[i].receipt.stats, cold, total_reads - cold, with_log);
-    report.oplog_entries += specs[i].log.size();
-    report.instructions += specs[i].receipt.stats.instructions;
   }
-  ScheduleResult sched = ListSchedule(durations, options.threads, options.cost.dispatch_ns);
+  ReadPhase read = RunReadPhase(block, state, modes, cache, cost, options.os_threads, report);
+  ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
+  WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
-    TxSchedule::Plan plan = i < schedule.transactions.size()
-                                ? schedule.transactions[i].plan
-                                : TxSchedule::Plan::kFallback;
-    Speculation& spec = specs[i];
+    TxSchedule::Plan plan = PlanFor(schedule, i);
+    Speculation& spec = read.specs[i];
     t = std::max(t, sched.finish[i]);
 
     if (paranoid && plan != TxSchedule::Plan::kFallback) {
       // Verify the schedule's claim instead of trusting it.
-      ConflictMap conflicts;
-      for (const auto& [key, observed] : spec.reads) {
-        U256 current = state.Get(key);
-        if (current != observed) {
-          conflicts.emplace(key, current);
-        }
-      }
       bool claim_clean = plan == TxSchedule::Plan::kClean;
-      if (claim_clean != conflicts.empty()) {
+      if (claim_clean != FindConflicts(spec.reads, state).empty()) {
         ++report.conflicts;  // Schedule deviation: repair serially.
+        ++report.full_reexecutions;
         t += FullReexecute(block, i, state, cache, cost, fees, report);
         continue;
       }
@@ -192,12 +126,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
 
     switch (plan) {
       case TxSchedule::Plan::kClean: {
-        if (spec.receipt.valid) {
-          t += cost.CommitCost(spec.writes.size());
-          state.Apply(spec.writes);
-          fees = fees + spec.receipt.fee;
-        }
-        report.receipts.push_back(std::move(spec.receipt));
+        t += CommitSpeculation(spec, state, cost, fees, report);
         break;
       }
       case TxSchedule::Plan::kRedo: {
@@ -213,14 +142,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
           t += FullReexecute(block, i, state, cache, cost, fees, report);
           break;
         }
-        ++report.redo_success;
-        report.redo_entries_reexecuted += redo.reexecuted;
-        uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflicts.size());
-        report.redo_ns += redo_ns;
-        t += redo_ns + cost.CommitCost(redo.write_set.size());
-        state.Apply(redo.write_set);
-        fees = fees + spec.receipt.fee;
-        report.receipts.push_back(std::move(spec.receipt));
+        t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
         break;
       }
       case TxSchedule::Plan::kFallback: {
@@ -232,6 +154,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
   }
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options.cost.per_block_ns;
+  report.commit_wall_ns = commit_timer.ElapsedNs();
+  report.wall_ns = block_timer.ElapsedNs();
   return report;
 }
 

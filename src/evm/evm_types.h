@@ -87,6 +87,8 @@ struct ExecStats {
     calls += o.calls;
     return *this;
   }
+
+  friend bool operator==(const ExecStats&, const ExecStats&) = default;
 };
 
 }  // namespace pevm

@@ -1,0 +1,164 @@
+#include "src/exec/pipeline.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/core/ssa_builder.h"
+#include "src/exec/apply.h"
+#include "src/exec/thread_pool.h"
+#include "src/state/state_view.h"
+
+namespace pevm {
+namespace {
+
+// Worker pools are expensive to spawn, so one pool per requested width is
+// kept for the process lifetime. Pools are stateless between jobs, so reuse
+// across blocks and executors is safe.
+ThreadPool& PoolFor(int width) {
+  static std::mutex mu;
+  static std::unordered_map<int, std::unique_ptr<ThreadPool>> pools;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_ptr<ThreadPool>& slot = pools[width];
+  if (!slot) {
+    slot = std::make_unique<ThreadPool>(width);
+  }
+  return *slot;
+}
+
+}  // namespace
+
+Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
+                                 const Transaction& tx, bool with_log) {
+  Speculation spec;
+  StateView view(state);
+  if (with_log) {
+    SsaBuilder builder;
+    spec.receipt = ApplyTransaction(view, context, tx, &builder);
+    if (!spec.receipt.valid) {
+      builder.MarkNotRedoable();
+    }
+    spec.log = builder.TakeLog();
+  } else {
+    spec.receipt = ApplyTransaction(view, context, tx);
+  }
+  spec.reads = view.read_set();
+  spec.writes = view.take_write_set();
+  return spec;
+}
+
+ReadPhase RunReadPhase(const Block& block, const WorldState& state,
+                       std::span<const SpecMode> modes, StateCache& cache,
+                       const CostModel& cost, int os_threads, BlockReport& report) {
+  WallTimer timer;
+  size_t n = block.transactions.size();
+  ReadPhase phase;
+  phase.specs.resize(n);
+  phase.durations.assign(n, 0);
+
+  // Parallel section: each index touches only the read-only committed state
+  // and its own Speculation slot.
+  auto speculate_one = [&](size_t i) {
+    if (modes[i] == SpecMode::kSkip) {
+      return;
+    }
+    phase.specs[i] = SpeculateTransaction(state, block.context, block.transactions[i],
+                                          modes[i] == SpecMode::kWithLog);
+  };
+  int width = ThreadPool::ResolveWidth(os_threads);
+  if (width <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      speculate_one(i);
+    }
+  } else {
+    PoolFor(width).ParallelFor(n, speculate_one);
+  }
+
+  // Order-dependent accounting runs strictly in block order on this thread,
+  // so cold/warm classification and report counters are identical for every
+  // pool width (including width 1).
+  for (size_t i = 0; i < n; ++i) {
+    if (modes[i] == SpecMode::kSkip) {
+      continue;
+    }
+    Speculation& spec = phase.specs[i];
+    uint64_t total_reads = TotalReadOps(spec.receipt.stats);
+    uint64_t cold = std::min(cache.Touch(spec.reads), total_reads);
+    phase.durations[i] = cost.ExecutionCost(spec.receipt.stats, cold, total_reads - cold,
+                                            /*with_ssa=*/modes[i] == SpecMode::kWithLog);
+    report.oplog_entries += spec.log.size();
+    report.instructions += spec.receipt.stats.instructions;
+  }
+  report.read_wall_ns += timer.ElapsedNs();
+  return phase;
+}
+
+ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
+                       StateCache& cache, const CostModel& cost, int os_threads,
+                       BlockReport& report) {
+  std::vector<SpecMode> modes(block.transactions.size(), mode);
+  return RunReadPhase(block, state, modes, cache, cost, os_threads, report);
+}
+
+ConflictMap FindConflicts(const ReadSet& reads, const WorldState& state) {
+  ConflictMap conflicts;
+  for (const auto& [key, observed] : reads) {
+    U256 current = state.Get(key);
+    if (current != observed) {
+      conflicts.emplace(key, current);
+    }
+  }
+  return conflicts;
+}
+
+uint64_t CommitResult(Receipt&& receipt, WriteSet&& writes, WorldState& state,
+                      const CostModel& cost, U256& fees, BlockReport& report) {
+  uint64_t t = 0;
+  if (receipt.valid) {
+    t += cost.CommitCost(writes.size());
+    state.Apply(writes);
+    fees = fees + receipt.fee;
+  }
+  report.receipts.push_back(std::move(receipt));
+  return t;
+}
+
+uint64_t CommitSpeculation(Speculation& spec, WorldState& state, const CostModel& cost,
+                           U256& fees, BlockReport& report) {
+  return CommitResult(std::move(spec.receipt), std::move(spec.writes), state, cost, fees,
+                      report);
+}
+
+uint64_t CommitRedo(Speculation& spec, RedoResult&& redo, size_t conflict_count,
+                    WorldState& state, const CostModel& cost, U256& fees, BlockReport& report) {
+  ++report.redo_success;
+  report.redo_entries_reexecuted += redo.reexecuted;
+  uint64_t redo_ns = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflict_count);
+  report.redo_ns += redo_ns;
+  uint64_t t = redo_ns + cost.CommitCost(redo.write_set.size());
+  state.Apply(redo.write_set);
+  fees = fees + spec.receipt.fee;
+  report.receipts.push_back(std::move(spec.receipt));
+  return t;
+}
+
+uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const CostModel& cost,
+                          BlockReport& report) {
+  uint64_t wasted = cost.RedoCost(redo.dfs_visited, redo.reexecuted, conflict_count);
+  report.redo_ns += wasted;
+  return wasted;
+}
+
+uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
+                       const CostModel& cost, U256& fees, BlockReport& report) {
+  StateView view(state);
+  Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
+  uint64_t total_reads = TotalReadOps(receipt.stats);
+  uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
+  uint64_t t = cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
+  report.instructions += receipt.stats.instructions;
+  return t + CommitResult(std::move(receipt), view.take_write_set(), state, cost, fees, report);
+}
+
+}  // namespace pevm

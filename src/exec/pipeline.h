@@ -1,0 +1,119 @@
+// The shared executor pipeline (paper §5.1): the one Speculation record, the
+// genuinely parallel read phase, the read-set validation scan, and the
+// commit-side accounting (clean commit, redo repair, failed-redo charge,
+// serial fallback re-execution, fee accrual). Every concurrency-control
+// executor — ParallelEVM, OCC, Block-STM's commit sweep, and the §7
+// proposer/validator pair — is built from these pieces, so they necessarily
+// agree on semantics and on cost accounting.
+//
+// Time is reported twice (DESIGN.md §3.2): the virtual-time cost model stays
+// the paper-figure oracle (makespan_ns), while WallTimer feeds the real
+// wall-clock BlockReport fields (wall_ns, read_wall_ns, commit_wall_ns) that
+// the thread-pool read phase actually earns. Results are bit-identical for
+// every OS-thread count: only the wall-clock fields may differ.
+#ifndef SRC_EXEC_PIPELINE_H_
+#define SRC_EXEC_PIPELINE_H_
+
+#include <chrono>
+#include <span>
+#include <vector>
+
+#include "src/core/oplog.h"
+#include "src/core/redo.h"
+#include "src/exec/executor.h"
+
+namespace pevm {
+
+// One transaction's speculative execution against the block-start state: the
+// receipt, the observed read set (validation input), the buffered write set
+// (commit input) and, when requested, the SSA operation log (redo input).
+struct Speculation {
+  Receipt receipt;
+  ReadSet reads;
+  WriteSet writes;
+  TxLog log;
+};
+
+// Per-transaction read-phase mode.
+enum class SpecMode : uint8_t {
+  kSkip,     // Do not speculate (scheduled fallback transactions).
+  kPlain,    // Speculate without an operation log (OCC-style).
+  kWithLog,  // Speculate and generate the SSA operation log.
+};
+
+// Speculatively executes `tx` against the committed state, buffering all
+// effects in the returned record. Thread-safe: `state` is only read.
+Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
+                                 const Transaction& tx, bool with_log);
+
+struct ReadPhase {
+  std::vector<Speculation> specs;
+  // Virtual speculation duration per transaction (0 for kSkip); feeds
+  // ListSchedule.
+  std::vector<uint64_t> durations;
+};
+
+// Runs the read phase: speculates every non-skipped transaction concurrently
+// on `os_threads` real OS threads (0 = one per hardware thread) against the
+// read-only committed state, then runs all order-dependent accounting
+// (StateCache cold/warm classification, virtual durations, report counters)
+// as a deterministic block-order pass on the calling thread. Adds the elapsed
+// wall time to report.read_wall_ns.
+ReadPhase RunReadPhase(const Block& block, const WorldState& state,
+                       std::span<const SpecMode> modes, StateCache& cache,
+                       const CostModel& cost, int os_threads, BlockReport& report);
+
+// Uniform-mode convenience overload.
+ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
+                       StateCache& cache, const CostModel& cost, int os_threads,
+                       BlockReport& report);
+
+// Validation scan: every read whose committed value changed since
+// speculation, mapped to the freshly committed value (the redo phase's patch
+// input).
+ConflictMap FindConflicts(const ReadSet& reads, const WorldState& state);
+
+// Commits a validated receipt + write set: applies the writes and accrues the
+// fee if the receipt is valid, then moves the receipt into the report.
+// Returns the virtual commit cost.
+uint64_t CommitResult(Receipt&& receipt, WriteSet&& writes, WorldState& state,
+                      const CostModel& cost, U256& fees, BlockReport& report);
+
+// Clean-speculation commit (validation found no conflicts).
+uint64_t CommitSpeculation(Speculation& spec, WorldState& state, const CostModel& cost,
+                           U256& fees, BlockReport& report);
+
+// Books a successful redo repair: success counters, write application, fee
+// accrual, receipt hand-off. Returns the virtual redo + commit cost.
+uint64_t CommitRedo(Speculation& spec, RedoResult&& redo, size_t conflict_count,
+                    WorldState& state, const CostModel& cost, U256& fees, BlockReport& report);
+
+// Charges a failed redo attempt's DFS and partial re-execution: the abort
+// happens on the commit path, so the wasted work is real makespan (callers
+// count report.redo_fail themselves).
+uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const CostModel& cost,
+                          BlockReport& report);
+
+// Write-phase fallback: serial re-execution of transaction `i` against the
+// committed state (cannot conflict again), committing its effects. Returns
+// the virtual cost (callers count report.full_reexecutions themselves).
+uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
+                       const CostModel& cost, U256& fees, BlockReport& report);
+
+// Wall-clock stopwatch feeding the real-time BlockReport fields.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  uint64_t ElapsedNs() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_EXEC_PIPELINE_H_

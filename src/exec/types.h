@@ -35,6 +35,8 @@ struct Receipt {
   U256 fee;  // gas_used * gas_price; credited to the coinbase at block end.
   Bytes output;
   ExecStats stats;
+
+  friend bool operator==(const Receipt&, const Receipt&) = default;
 };
 
 }  // namespace pevm

@@ -1,0 +1,191 @@
+// The tentpole guarantee of the real-thread read phase: the OS-thread count
+// is invisible in results. The same block must produce identical state roots,
+// receipts, and BlockReport conflict/redo counters (and the identical virtual
+// makespan) whether the thread pool runs 1, 4, or 16 OS threads — only the
+// wall-clock fields may differ. Also exercises the ThreadPool directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "src/baselines/occ.h"
+#include "src/baselines/serial.h"
+#include "src/core/parallel_evm.h"
+#include "src/core/scheduled.h"
+#include "src/exec/thread_pool.h"
+#include "src/workload/block_gen.h"
+
+namespace pevm {
+namespace {
+
+struct RunResult {
+  std::string root;
+  uint64_t digest = 0;
+  std::vector<BlockReport> reports;
+};
+
+// Everything in BlockReport except the wall-clock fields must match.
+void ExpectSameReport(const BlockReport& a, const BlockReport& b, int os_threads, int block) {
+  SCOPED_TRACE(testing::Message() << "os_threads=" << os_threads << " block=" << block);
+  EXPECT_EQ(a.makespan_ns, b.makespan_ns);
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.redo_success, b.redo_success);
+  EXPECT_EQ(a.redo_fail, b.redo_fail);
+  EXPECT_EQ(a.full_reexecutions, b.full_reexecutions);
+  EXPECT_EQ(a.lock_aborts, b.lock_aborts);
+  EXPECT_EQ(a.redo_entries_reexecuted, b.redo_entries_reexecuted);
+  EXPECT_EQ(a.redo_ns, b.redo_ns);
+  EXPECT_EQ(a.oplog_entries, b.oplog_entries);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.receipts, b.receipts);
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorkloadConfig config;
+    config.seed = 4242;
+    config.transactions_per_block = 150;
+    config.users = 900;
+    config.tokens = 5;
+    config.pools = 3;
+    gen_.emplace(config);
+    genesis_ = gen_->MakeGenesis();
+    for (int b = 0; b < 2; ++b) {
+      blocks_.push_back(gen_->MakeBlock());
+    }
+  }
+
+  template <typename Run>
+  RunResult Execute(Run run, int os_threads) {
+    ExecOptions options;
+    options.threads = 8;
+    options.os_threads = os_threads;
+    WorldState state = genesis_;
+    RunResult result;
+    for (const Block& block : blocks_) {
+      result.reports.push_back(run(block, state, options));
+    }
+    result.root = HexEncode(state.StateRoot());
+    result.digest = state.Digest();
+    return result;
+  }
+
+  template <typename Run>
+  void ExpectThreadCountInvisible(Run run) {
+    RunResult base = Execute(run, /*os_threads=*/1);
+    // The contention workload must actually exercise the conflict/redo paths,
+    // or the determinism claim is vacuous. (A scheduled validator reports
+    // redo_success but no conflicts for an honest schedule.)
+    int conflicts = 0;
+    for (const BlockReport& r : base.reports) {
+      conflicts += r.conflicts + r.redo_success;
+    }
+    EXPECT_GT(conflicts, 0);
+    for (int os_threads : {4, 16}) {
+      RunResult other = Execute(run, os_threads);
+      EXPECT_EQ(base.root, other.root) << os_threads << " OS threads";
+      EXPECT_EQ(base.digest, other.digest) << os_threads << " OS threads";
+      ASSERT_EQ(base.reports.size(), other.reports.size());
+      for (size_t b = 0; b < base.reports.size(); ++b) {
+        ExpectSameReport(base.reports[b], other.reports[b], os_threads, static_cast<int>(b));
+      }
+    }
+  }
+
+  std::optional<WorkloadGenerator> gen_;
+  WorldState genesis_;
+  std::vector<Block> blocks_;
+};
+
+TEST_F(DeterminismTest, ParallelEvmIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    return ParallelEvmExecutor(options).Execute(block, state);
+  });
+}
+
+TEST_F(DeterminismTest, OccIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    return OccExecutor(options).Execute(block, state);
+  });
+}
+
+TEST_F(DeterminismTest, ProposerIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    return ProposeBlock(block, state, options).report;
+  });
+}
+
+TEST_F(DeterminismTest, ScheduledValidatorIsOsThreadCountInvariant) {
+  // The validator follows a fixed schedule produced once by the proposer.
+  std::vector<BlockSchedule> schedules;
+  {
+    ExecOptions options;
+    options.threads = 8;
+    WorldState state = genesis_;
+    for (const Block& block : blocks_) {
+      schedules.push_back(ProposeBlock(block, state, options).schedule);
+    }
+  }
+  size_t next = 0;
+  ExpectThreadCountInvisible([&](const Block& block, WorldState& state,
+                                 const ExecOptions& options) {
+    const BlockSchedule& schedule = schedules[next++ % schedules.size()];
+    return ExecuteWithSchedule(block, schedule, state, options);
+  });
+}
+
+TEST_F(DeterminismTest, ParallelReadPhaseMatchesSerialExecution) {
+  ExecOptions options;
+  options.threads = 8;
+  options.os_threads = 16;
+  WorldState s_serial = genesis_;
+  WorldState s_pevm = genesis_;
+  SerialExecutor serial(options);
+  ParallelEvmExecutor pevm(options);
+  for (const Block& block : blocks_) {
+    serial.Execute(block, s_serial);
+    pevm.Execute(block, s_pevm);
+  }
+  EXPECT_EQ(HexEncode(s_serial.StateRoot()), HexEncode(s_pevm.StateRoot()));
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int width : {1, 2, 7, 16}) {
+    ThreadPool pool(width);
+    EXPECT_EQ(pool.threads(), width);
+    constexpr size_t kN = 10'000;
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(kN, [&](size_t i) { visits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " width " << width;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossJobs) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+  }
+  EXPECT_EQ(sum.load(), 50u * (99u * 100u / 2u));
+}
+
+TEST(ThreadPoolTest, ZeroIterationsIsANoOp) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPoolTest, ResolveWidthPassesThroughAndCaps) {
+  EXPECT_EQ(ThreadPool::ResolveWidth(3), 3);
+  int resolved = ThreadPool::ResolveWidth(0);
+  EXPECT_GE(resolved, 1);
+  EXPECT_LE(resolved, 16);
+}
+
+}  // namespace
+}  // namespace pevm
