@@ -1,18 +1,32 @@
 #!/usr/bin/env bash
-# CI entry guarding the concurrent read phase: builds the tree with
-# -fsanitize=thread (PEVM_SANITIZE=thread) and runs the test binaries that
-# drive the thread-pool pipeline hard. Any data race in the parallel
-# speculation path fails the script.
+# CI entry guarding the concurrent read phase and the async prefetch pipeline:
+# builds the tree with -fsanitize=thread (PEVM_SANITIZE=thread) and runs the
+# suites that drive the thread-pool pipeline and the background prefetch
+# engine hard. Any data race fails the script.
+#
+# Selection goes through ctest so gtest_discover_tests stays the single source
+# of truth for what exists. An empty selection is a HARD FAILURE: a typo in
+# the regex (or a target silently dropped from tests/CMakeLists.txt) must not
+# let CI pass while sanitizing nothing.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
+# The heavy differential battery is excluded: it is a semantics oracle, not a
+# race driver, and under TSan's ~10x slowdown it would dominate the gate.
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest)'}
+
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target determinism_test executor_test equivalence_test scheduled_test
+  --target determinism_test executor_test equivalence_test scheduled_test prefetch_test
 
-for t in determinism_test executor_test equivalence_test scheduled_test; do
-  echo "== TSan: $t =="
-  "./$BUILD_DIR/tests/$t"
-done
-echo "ThreadSanitizer: all executor suites clean."
+cd "$BUILD_DIR"
+selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')
+if [[ -z "$selected" || "$selected" -eq 0 ]]; then
+  echo "FATAL: ctest selection '$TSAN_REGEX' matched ${selected:-0} tests." >&2
+  echo "The TSan gate would have passed vacuously; fix the regex or the test registration." >&2
+  exit 1
+fi
+echo "== TSan: running $selected tests matching $TSAN_REGEX =="
+ctest -R "$TSAN_REGEX" --output-on-failure -j "$(nproc)"
+echo "ThreadSanitizer: all $selected selected tests clean."

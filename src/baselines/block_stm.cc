@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <map>
+#include <optional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
@@ -35,8 +36,8 @@ using MvMemory = std::unordered_map<StateKey, std::map<int, WriteVersion>, State
 // recording provenance; reading an ESTIMATE requests an execution abort.
 class MvReader final : public BaseReader {
  public:
-  MvReader(const MvMemory& mv, const WorldState& base, int txn)
-      : mv_(&mv), base_(&base), txn_(txn) {}
+  MvReader(const MvMemory& mv, const WorldState& base, SimStore* store, int txn)
+      : mv_(&mv), base_(&base), store_(store), txn_(txn) {}
 
   U256 Read(const StateKey& key) const override {
     auto kit = mv_->find(key);
@@ -53,6 +54,11 @@ class MvReader final : public BaseReader {
         reads_.push_back({key, Version{vit->first, vit->second.incarnation}, vit->second.value});
         return vit->second.value;
       }
+    }
+    // Only committed-state reads touch storage; multi-version hits are
+    // in-memory.
+    if (store_ != nullptr) {
+      store_->Touch(key);
     }
     U256 value = base_->Get(key);
     reads_.push_back({key, Version{}, value});
@@ -75,6 +81,7 @@ class MvReader final : public BaseReader {
  private:
   const MvMemory* mv_;
   const WorldState* base_;
+  SimStore* store_;
   int txn_;
   mutable bool abort_ = false;
   mutable int blocking_txn_ = -1;
@@ -129,10 +136,20 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
   WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
+  SimStore* store = EnsureSimStore(options_, sim_store_);
   BlockReport report;
   const int n = static_cast<int>(block.transactions.size());
   if (n == 0) {
     return report;
+  }
+  if (store) {
+    store->BeginBlock();
+  }
+  std::vector<PrefetchRequest> requests;
+  std::optional<PrefetchEngine> engine;
+  if (store && options_.prefetch_depth > 0) {
+    requests = BuildPrefetchRequests(block);
+    engine.emplace(*store, requests, options_.prefetch_depth);
   }
 
   MvMemory mv;
@@ -162,9 +179,12 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
   // --- Task bodies (real execution/validation; duration from the model). ---
   auto run_execute = [&](InFlight& fl) -> uint64_t {
     const Transaction& tx = block.transactions[static_cast<size_t>(fl.task.txn)];
+    if (engine) {
+      engine->NotifyStarted(static_cast<size_t>(fl.task.txn));
+    }
     uint64_t penalty = txs[static_cast<size_t>(fl.task.txn)].abort_penalty;
     txs[static_cast<size_t>(fl.task.txn)].abort_penalty = 0;
-    MvReader reader(mv, state, fl.task.txn);
+    MvReader reader(mv, state, store, fl.task.txn);
     StateView view(reader);
     fl.receipt = ApplyTransaction(view, block.context, tx);
     fl.exec_aborted = reader.aborted();
@@ -351,6 +371,25 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     inflight.push(std::move(fl));
   }
 
+  // The prefetcher must be quiescent before the commit sweep below starts
+  // mutating `state` and the accounting pass updates the hint table.
+  if (engine) {
+    engine->Finish();
+    report.prefetch_wall_ns += engine->warm_wall_ns();
+    std::vector<ReadSet> observed(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      for (const ReadRecord& r : txs[static_cast<size_t>(j)].reads) {
+        if (r.version.txn == -1) {  // Base reads only: mv hits never touch storage.
+          observed[static_cast<size_t>(j)].emplace(r.key, r.value);
+        }
+      }
+    }
+    std::vector<const ReadSet*> reads(static_cast<size_t>(n), nullptr);
+    for (int j = 0; j < n; ++j) {
+      reads[static_cast<size_t>(j)] = &observed[static_cast<size_t>(j)];
+    }
+    AccountPrefetch(*store, requests, reads, report);
+  }
   report.read_wall_ns = block_timer.ElapsedNs();
 
   // --- Commit sweep: verify each transaction's reads against the now-
@@ -377,7 +416,8 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     }
     if (!consistent) {
       ++report.full_reexecutions;
-      t += FullReexecute(block, static_cast<size_t>(j), state, cache, cost, fees, report);
+      t += FullReexecute(block, static_cast<size_t>(j), state, cache, cost, store, fees,
+                         report);
       continue;
     }
     t += CommitResult(std::move(tx_state.receipt), std::move(tx_state.writes), state, cost,

@@ -22,6 +22,7 @@ class BlockStmExecutor final : public Executor {
 
  private:
   ExecOptions options_;
+  std::unique_ptr<SimStore> sim_store_;  // See parallel_evm.h.
 };
 
 }  // namespace pevm

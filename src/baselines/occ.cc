@@ -10,12 +10,13 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
   WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
+  SimStore* store = EnsureSimStore(options_, sim_store_);
   BlockReport report;
   size_t n = block.transactions.size();
 
   // Read phase (no operation logs: OCC cannot repair, only restart).
   ReadPhase read = RunReadPhase(block, state, SpecMode::kPlain, cache, cost,
-                                options_.os_threads, report);
+                                options_.os_threads, store, options_.prefetch_depth, report);
   ScheduleResult schedule =
       ListSchedule(read.durations, options_.threads, options_.cost.dispatch_ns);
 
@@ -37,7 +38,7 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
     // path (transaction-level conflict resolution).
     ++report.conflicts;
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
 
   CreditCoinbase(state, block.context.coinbase, fees);

@@ -19,6 +19,7 @@ class OccExecutor final : public Executor {
 
  private:
   ExecOptions options_;
+  std::unique_ptr<SimStore> sim_store_;  // See parallel_evm.h.
 };
 
 }  // namespace pevm

@@ -17,6 +17,7 @@ class SerialExecutor final : public Executor {
 
  private:
   ExecOptions options_;
+  std::unique_ptr<SimStore> sim_store_;  // See parallel_evm.h.
 };
 
 }  // namespace pevm

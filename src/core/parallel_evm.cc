@@ -12,13 +12,14 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
   WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
+  SimStore* store = EnsureSimStore(options_, sim_store_);
   BlockReport report;
   size_t n = block.transactions.size();
 
   // --- Read phase: speculative execution against the block-start state on
   // real OS threads, recording read/write sets and SSA operation logs. ---
   ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
-                                options_.os_threads, report);
+                                options_.os_threads, store, options_.prefetch_depth, report);
   ScheduleResult schedule = pre_execution_
                                 ? ScheduleResult{std::vector<uint64_t>(n, 0), 0}
                                 : ListSchedule(read.durations, options_.threads,
@@ -55,7 +56,7 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
       t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
 
   CreditCoinbase(state, block.context.coinbase, fees);

@@ -1,6 +1,7 @@
 #include "src/core/scheduled.h"
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/core/redo.h"
@@ -21,13 +22,18 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
   WallTimer block_timer;
   CostModel cost(options.cost);
   StateCache cache(options.prefetch);
+  // Free functions have no instance to persist hints on; the store (and its
+  // hint table) is per call, which still exercises the full prefetch
+  // machinery within the block.
+  std::unique_ptr<SimStore> local_store;
+  SimStore* store = EnsureSimStore(options, local_store);
   ProposalResult result;
   BlockReport& report = result.report;
   size_t n = block.transactions.size();
   result.schedule.transactions.resize(n);
 
   ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
-                                options.os_threads, report);
+                                options.os_threads, store, options.prefetch_depth, report);
   ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
   WallTimer commit_timer;
@@ -65,7 +71,7 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
       t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options.cost.per_block_ns;
@@ -79,6 +85,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
   WallTimer block_timer;
   CostModel cost(options.cost);
   StateCache cache(options.prefetch);
+  std::unique_ptr<SimStore> local_store;
+  SimStore* store = EnsureSimStore(options, local_store);
   BlockReport report;
   size_t n = block.transactions.size();
 
@@ -101,7 +109,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
         break;
     }
   }
-  ReadPhase read = RunReadPhase(block, state, modes, cache, cost, options.os_threads, report);
+  ReadPhase read = RunReadPhase(block, state, modes, cache, cost, options.os_threads, store,
+                                options.prefetch_depth, report);
   ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
   WallTimer commit_timer;
@@ -119,7 +128,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
       if (claim_clean != FindConflicts(spec.reads, state).empty()) {
         ++report.conflicts;  // Schedule deviation: repair serially.
         ++report.full_reexecutions;
-        t += FullReexecute(block, i, state, cache, cost, fees, report);
+        t += FullReexecute(block, i, state, cache, cost, store, fees, report);
         continue;
       }
     }
@@ -139,7 +148,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
         if (!redo.success) {
           // Deterministic proposers never hit this; repair serially anyway.
           ++report.full_reexecutions;
-          t += FullReexecute(block, i, state, cache, cost, fees, report);
+          t += FullReexecute(block, i, state, cache, cost, store, fees, report);
           break;
         }
         t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
@@ -147,7 +156,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
       }
       case TxSchedule::Plan::kFallback: {
         ++report.full_reexecutions;
-        t += FullReexecute(block, i, state, cache, cost, fees, report);
+        t += FullReexecute(block, i, state, cache, cost, store, fees, report);
         break;
       }
     }

@@ -855,8 +855,10 @@ bool Interpreter::DoCall(Frame& f, Opcode op) {
     size_t snapshot = host_->Snapshot();
     if (!value.IsZero()) {
       U256 from_before = host_->GetBalance(msg.storage_address);
-      U256 to_before = host_->GetBalance(to);
       host_->SetBalance(msg.storage_address, from_before - value);
+      // Credit reads after the debit so a self-call with value nets to zero
+      // (SubBalance/AddBalance order), matching the SSA log's dataflow.
+      U256 to_before = host_->GetBalance(to);
       host_->SetBalance(to, to_before + value);
       if (tracer_ != nullptr) {
         tracer_->OnValueTransfer(msg.storage_address, from_before, to, to_before, value);

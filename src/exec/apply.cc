@@ -52,9 +52,12 @@ Receipt ApplyTransaction(StateView& view, const BlockContext& block, const Trans
   size_t snapshot = view.Snapshot();
   if (!tx.value.IsZero()) {
     U256 from_before = view.GetBalance(tx.from);
-    U256 to_before = view.GetBalance(tx.to);
     // Upfront check covered value, so this cannot underflow.
     view.SetBalance(tx.from, from_before - tx.value);
+    // The credit reads *after* the debit so a self-transfer (from == to) nets
+    // to zero — the SubBalance/AddBalance order of real EVM clients, and the
+    // dataflow the SSA log records for redo.
+    U256 to_before = view.GetBalance(tx.to);
     view.SetBalance(tx.to, to_before + tx.value);
     if (tracer != nullptr) {
       tracer->OnValueTransfer(tx.from, from_before, tx.to, to_before, tx.value);

@@ -3,12 +3,14 @@
 #ifndef SRC_EXEC_EXECUTOR_H_
 #define SRC_EXEC_EXECUTOR_H_
 
+#include <memory>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "src/exec/types.h"
 #include "src/sim/cost_model.h"
+#include "src/state/sim_store.h"
 #include "src/state/world_state.h"
 
 namespace pevm {
@@ -17,13 +19,24 @@ struct ExecOptions {
   int threads = 16;  // Virtual worker threads (the paper's machine: 8c/16t).
   CostConfig cost;
   // Table 2 methodology: a prior prefetching run warmed every storage slot,
-  // so committed-state reads never miss.
+  // so committed-state reads never miss. This is the *virtual-time* oracle
+  // knob; the wall-clock prefetch pipeline below is independent of it.
   bool prefetch = false;
   // Real OS worker threads for the read phase (0 = one per hardware thread,
   // capped at 16). Changes only the wall-clock BlockReport fields: state
   // roots, receipts, counters and the virtual makespan are bit-identical for
   // every value, including 1.
   int os_threads = 0;
+  // Asynchronous storage prefetch pipeline (wall clock): how many
+  // transactions ahead of execution the background PrefetchEngine may warm
+  // the simulated storage cache. 0 disables the engine. Like os_threads this
+  // can only move the wall-clock BlockReport fields; the prefetch_* hit/miss
+  // counters it unlocks are deterministic functions of the predicted access
+  // sets, computed on the block-order pass.
+  int prefetch_depth = 0;
+  // Simulated storage latency/batching behind the prefetcher. All-zero
+  // latencies (the default) keep the store as pure residency bookkeeping.
+  SimStoreConfig storage;
 };
 
 struct BlockReport {
@@ -46,6 +59,17 @@ struct BlockReport {
   uint64_t redo_ns = 0;    // Virtual time spent in redo.
   uint64_t oplog_entries = 0;
   uint64_t instructions = 0;
+
+  // Async-prefetch accounting (all zero unless ExecOptions::prefetch_depth
+  // > 0). hits/misses classify each transaction's observed reads against its
+  // predicted access set; wasted counts predicted keys no transaction read.
+  // All three are computed on the deterministic block-order pass, so they are
+  // OS-thread-count invariant; prefetch_wall_ns is the engine's real warm-up
+  // time and belongs with the wall-clock fields above.
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+  uint64_t prefetch_wasted = 0;
+  uint64_t prefetch_wall_ns = 0;
 
   std::vector<Receipt> receipts;
 };
@@ -83,6 +107,22 @@ class StateCache {
   bool all_warm_;
   std::unordered_set<StateKey, StateKeyHash> resident_;
 };
+
+// Lazily instantiates an executor's simulated-storage front-end when the
+// wall-clock storage model or the async prefetch pipeline is enabled;
+// returns nullptr (and the executor skips all SimStore plumbing) otherwise.
+// The store lives across Execute calls so the access-hint table learned in
+// one block predicts the next.
+inline SimStore* EnsureSimStore(const ExecOptions& options, std::unique_ptr<SimStore>& slot) {
+  if (options.prefetch_depth <= 0 && options.storage.cold_read_ns == 0 &&
+      options.storage.warm_read_ns == 0) {
+    return nullptr;
+  }
+  if (!slot) {
+    slot = std::make_unique<SimStore>(options.storage);
+  }
+  return slot.get();
+}
 
 // Envelope reads (sender nonce + balance) that are not counted in
 // ExecStats::sloads but still hit committed state.

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "src/core/ssa_builder.h"
 #include "src/exec/apply.h"
@@ -30,41 +32,65 @@ ThreadPool& PoolFor(int width) {
 }  // namespace
 
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
-                                 const Transaction& tx, bool with_log) {
+                                 const Transaction& tx, bool with_log, SimStore* store) {
   Speculation spec;
-  StateView view(state);
+  // StateView is self-referential when it owns its reader, so both variants
+  // are constructed in place.
+  std::optional<SimStoreReader> reader;
+  std::optional<StateView> view;
+  if (store) {
+    reader.emplace(*store, state);
+    view.emplace(*reader);
+  } else {
+    view.emplace(state);
+  }
   if (with_log) {
     SsaBuilder builder;
-    spec.receipt = ApplyTransaction(view, context, tx, &builder);
+    spec.receipt = ApplyTransaction(*view, context, tx, &builder);
     if (!spec.receipt.valid) {
       builder.MarkNotRedoable();
     }
     spec.log = builder.TakeLog();
   } else {
-    spec.receipt = ApplyTransaction(view, context, tx);
+    spec.receipt = ApplyTransaction(*view, context, tx);
   }
-  spec.reads = view.read_set();
-  spec.writes = view.take_write_set();
+  spec.reads = view->read_set();
+  spec.writes = view->take_write_set();
   return spec;
 }
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
-                       const CostModel& cost, int os_threads, BlockReport& report) {
+                       const CostModel& cost, int os_threads, SimStore* store,
+                       int prefetch_depth, BlockReport& report) {
   WallTimer timer;
   size_t n = block.transactions.size();
   ReadPhase phase;
   phase.specs.resize(n);
   phase.durations.assign(n, 0);
 
+  if (store) {
+    store->BeginBlock();
+  }
+  std::vector<PrefetchRequest> requests;
+  std::optional<PrefetchEngine> engine;
+  if (store && prefetch_depth > 0 && n > 0) {
+    requests = BuildPrefetchRequests(block);
+    engine.emplace(*store, requests, prefetch_depth);
+  }
+
   // Parallel section: each index touches only the read-only committed state
-  // and its own Speculation slot.
+  // and its own Speculation slot (the prefetch engine warms the store's
+  // residency set concurrently, but never values).
   auto speculate_one = [&](size_t i) {
+    if (engine) {
+      engine->NotifyStarted(i);
+    }
     if (modes[i] == SpecMode::kSkip) {
       return;
     }
     phase.specs[i] = SpeculateTransaction(state, block.context, block.transactions[i],
-                                          modes[i] == SpecMode::kWithLog);
+                                          modes[i] == SpecMode::kWithLog, store);
   };
   int width = ThreadPool::ResolveWidth(os_threads);
   if (width <= 1 || n <= 1) {
@@ -73,6 +99,10 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     }
   } else {
     PoolFor(width).ParallelFor(n, speculate_one);
+  }
+  if (engine) {
+    engine->Finish();
+    report.prefetch_wall_ns += engine->warm_wall_ns();
   }
 
   // Order-dependent accounting runs strictly in block order on this thread,
@@ -90,15 +120,84 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     report.oplog_entries += spec.log.size();
     report.instructions += spec.receipt.stats.instructions;
   }
+  if (engine) {
+    std::vector<const ReadSet*> reads(n, nullptr);
+    for (size_t i = 0; i < n; ++i) {
+      if (modes[i] != SpecMode::kSkip) {
+        reads[i] = &phase.specs[i].reads;
+      }
+    }
+    AccountPrefetch(*store, requests, reads, report);
+  }
   report.read_wall_ns += timer.ElapsedNs();
   return phase;
 }
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
                        StateCache& cache, const CostModel& cost, int os_threads,
-                       BlockReport& report) {
+                       SimStore* store, int prefetch_depth, BlockReport& report) {
   std::vector<SpecMode> modes(block.transactions.size(), mode);
-  return RunReadPhase(block, state, modes, cache, cost, os_threads, report);
+  return RunReadPhase(block, state, modes, cache, cost, os_threads, store, prefetch_depth,
+                      report);
+}
+
+std::vector<PrefetchRequest> BuildPrefetchRequests(const Block& block) {
+  std::vector<PrefetchRequest> requests;
+  requests.reserve(block.transactions.size());
+  for (const Transaction& tx : block.transactions) {
+    PrefetchRequest request;
+    request.from = tx.from;
+    request.to = tx.to;
+    if (tx.data.size() >= 4) {
+      request.selector = (static_cast<uint32_t>(tx.data[0]) << 24) |
+                         (static_cast<uint32_t>(tx.data[1]) << 16) |
+                         (static_cast<uint32_t>(tx.data[2]) << 8) |
+                         static_cast<uint32_t>(tx.data[3]);
+      request.has_selector = true;
+    }
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+void AccountPrefetch(SimStore& store, const std::vector<PrefetchRequest>& requests,
+                     const std::vector<const ReadSet*>& reads_per_tx, BlockReport& report) {
+  size_t n = requests.size();
+  // Predictions are computed for every transaction *before* any hint update,
+  // matching what the engine (which ran against the block-start hint table)
+  // actually issued.
+  std::vector<std::vector<StateKey>> predicted(n);
+  for (size_t i = 0; i < n; ++i) {
+    predicted[i] = store.PredictSet(requests[i]);
+  }
+  std::unordered_set<StateKey, StateKeyHash> predicted_union;
+  std::unordered_set<StateKey, StateKeyHash> read_union;
+  for (size_t i = 0; i < n; ++i) {
+    predicted_union.insert(predicted[i].begin(), predicted[i].end());
+    if (!reads_per_tx[i]) {
+      continue;
+    }
+    std::unordered_set<StateKey, StateKeyHash> tx_predicted(predicted[i].begin(),
+                                                            predicted[i].end());
+    for (const auto& [key, value] : *reads_per_tx[i]) {
+      read_union.insert(key);
+      if (tx_predicted.contains(key)) {
+        ++report.prefetch_hits;
+      } else {
+        ++report.prefetch_misses;
+      }
+    }
+  }
+  for (const StateKey& key : predicted_union) {
+    if (!read_union.contains(key)) {
+      ++report.prefetch_wasted;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (reads_per_tx[i]) {
+      store.RecordObserved(requests[i], *reads_per_tx[i]);
+    }
+  }
 }
 
 ConflictMap FindConflicts(const ReadSet& reads, const WorldState& state) {
@@ -151,14 +250,23 @@ uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const C
 }
 
 uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
-                       const CostModel& cost, U256& fees, BlockReport& report) {
-  StateView view(state);
-  Receipt receipt = ApplyTransaction(view, block.context, block.transactions[i]);
+                       const CostModel& cost, SimStore* store, U256& fees,
+                       BlockReport& report) {
+  std::optional<SimStoreReader> reader;
+  std::optional<StateView> view;
+  if (store) {
+    reader.emplace(*store, state);
+    view.emplace(*reader);
+  } else {
+    view.emplace(state);
+  }
+  Receipt receipt = ApplyTransaction(*view, block.context, block.transactions[i]);
   uint64_t total_reads = TotalReadOps(receipt.stats);
-  uint64_t cold = std::min(cache.Touch(view.read_set()), total_reads);
+  uint64_t cold = std::min(cache.Touch(view->read_set()), total_reads);
   uint64_t t = cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);
   report.instructions += receipt.stats.instructions;
-  return t + CommitResult(std::move(receipt), view.take_write_set(), state, cost, fees, report);
+  return t +
+         CommitResult(std::move(receipt), view->take_write_set(), state, cost, fees, report);
 }
 
 }  // namespace pevm

@@ -42,9 +42,12 @@ enum class SpecMode : uint8_t {
 };
 
 // Speculatively executes `tx` against the committed state, buffering all
-// effects in the returned record. Thread-safe: `state` is only read.
+// effects in the returned record. Thread-safe: `state` is only read. When
+// `store` is set, committed reads route through the simulated storage
+// front-end (wall-clock latency + residency tracking; values are unchanged).
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
-                                 const Transaction& tx, bool with_log);
+                                 const Transaction& tx, bool with_log,
+                                 SimStore* store = nullptr);
 
 struct ReadPhase {
   std::vector<Speculation> specs;
@@ -59,14 +62,34 @@ struct ReadPhase {
 // (StateCache cold/warm classification, virtual durations, report counters)
 // as a deterministic block-order pass on the calling thread. Adds the elapsed
 // wall time to report.read_wall_ns.
+//
+// When `store` is set, reads pay the simulated storage latency; when
+// additionally `prefetch_depth` > 0, a background PrefetchEngine warms the
+// predicted access set of transaction i+depth while transaction i executes,
+// and the deterministic prefetch hit/miss/wasted counters land in `report`.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
-                       const CostModel& cost, int os_threads, BlockReport& report);
+                       const CostModel& cost, int os_threads, SimStore* store,
+                       int prefetch_depth, BlockReport& report);
 
 // Uniform-mode convenience overload.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
                        StateCache& cache, const CostModel& cost, int os_threads,
-                       BlockReport& report);
+                       SimStore* store, int prefetch_depth, BlockReport& report);
+
+// Builds the per-transaction static access-set predictions (envelope
+// accounts + calldata selector) the PrefetchEngine and AccountPrefetch
+// consume.
+std::vector<PrefetchRequest> BuildPrefetchRequests(const Block& block);
+
+// Deterministic prefetch accounting, run on the block-order pass after the
+// engine has been joined: classifies every observed read as a prefetch hit
+// (its key was in the transaction's predicted set) or miss, counts predicted
+// keys nothing read as wasted, then feeds the observed storage keys back
+// into the store's hint table. reads_per_tx entries may be null (skipped /
+// never-executed transactions).
+void AccountPrefetch(SimStore& store, const std::vector<PrefetchRequest>& requests,
+                     const std::vector<const ReadSet*>& reads_per_tx, BlockReport& report);
 
 // Validation scan: every read whose committed value changed since
 // speculation, mapped to the freshly committed value (the redo phase's patch
@@ -97,8 +120,11 @@ uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const C
 // Write-phase fallback: serial re-execution of transaction `i` against the
 // committed state (cannot conflict again), committing its effects. Returns
 // the virtual cost (callers count report.full_reexecutions themselves).
+// With `store` set, the re-execution reads through the storage front-end —
+// keys the read phase (or the prefetcher) already warmed stay warm.
 uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
-                       const CostModel& cost, U256& fees, BlockReport& report);
+                       const CostModel& cost, SimStore* store, U256& fees,
+                       BlockReport& report);
 
 // Wall-clock stopwatch feeding the real-time BlockReport fields.
 class WallTimer {

@@ -18,6 +18,8 @@ struct Account {
   uint64_t nonce = 0;
   Bytes code;
   std::unordered_map<U256, U256> storage;
+
+  friend bool operator==(const Account&, const Account&) = default;
 };
 
 // A write set maps state keys to their new values. Storage writes of zero are
@@ -59,6 +61,11 @@ class WorldState {
   uint64_t Digest() const;
 
   size_t account_count() const { return accounts_.size(); }
+
+  // Exact structural equality. Two equal states have equal roots and digests;
+  // differential tests prefer this because it is O(state) map compares with
+  // no hashing (StateRoot rebuilds the whole trie, ~1000x slower).
+  friend bool operator==(const WorldState&, const WorldState&) = default;
 
  private:
   std::unordered_map<Address, Account> accounts_;

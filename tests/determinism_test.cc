@@ -8,6 +8,7 @@
 #include <atomic>
 #include <vector>
 
+#include "src/baselines/block_stm.h"
 #include "src/baselines/occ.h"
 #include "src/baselines/serial.h"
 #include "src/core/parallel_evm.h"
@@ -37,6 +38,12 @@ void ExpectSameReport(const BlockReport& a, const BlockReport& b, int os_threads
   EXPECT_EQ(a.redo_ns, b.redo_ns);
   EXPECT_EQ(a.oplog_entries, b.oplog_entries);
   EXPECT_EQ(a.instructions, b.instructions);
+  // The prefetch hit/miss/wasted counters are computed by the deterministic
+  // block-order accounting pass, so they are part of the contract too; only
+  // prefetch_wall_ns (wall clock) may differ.
+  EXPECT_EQ(a.prefetch_hits, b.prefetch_hits);
+  EXPECT_EQ(a.prefetch_misses, b.prefetch_misses);
+  EXPECT_EQ(a.prefetch_wasted, b.prefetch_wasted);
   EXPECT_EQ(a.receipts, b.receipts);
 }
 
@@ -110,6 +117,74 @@ TEST_F(DeterminismTest, OccIsOsThreadCountInvariant) {
                                 const ExecOptions& options) {
     return OccExecutor(options).Execute(block, state);
   });
+}
+
+TEST_F(DeterminismTest, BlockStmIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    return BlockStmExecutor(options).Execute(block, state);
+  });
+}
+
+// The same invariance with the async prefetch pipeline live: a racy
+// background engine plus simulated storage latency must leave every
+// deterministic field — including the prefetch hit/miss/wasted counters that
+// ExpectSameReport now compares — untouched by the OS-thread count.
+TEST_F(DeterminismTest, ParallelEvmWithPrefetchIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    ExecOptions o = options;
+    o.prefetch_depth = 8;
+    o.storage.cold_read_ns = 1'000;
+    o.storage.warm_read_ns = 100;
+    return ParallelEvmExecutor(o).Execute(block, state);
+  });
+}
+
+TEST_F(DeterminismTest, BlockStmWithPrefetchIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    ExecOptions o = options;
+    o.prefetch_depth = 8;
+    return BlockStmExecutor(o).Execute(block, state);
+  });
+}
+
+TEST_F(DeterminismTest, OccWithPrefetchIsOsThreadCountInvariant) {
+  ExpectThreadCountInvisible([](const Block& block, WorldState& state,
+                                const ExecOptions& options) {
+    ExecOptions o = options;
+    o.prefetch_depth = 8;
+    return OccExecutor(o).Execute(block, state);
+  });
+}
+
+// Prefetch depth itself must be invisible in results: any depth produces the
+// same root and the same deterministic report fields as depth 0.
+TEST_F(DeterminismTest, PrefetchDepthIsInvisibleInResults) {
+  auto run_depth = [&](int depth) {
+    return Execute(
+        [depth](const Block& block, WorldState& state, const ExecOptions& options) {
+          ExecOptions o = options;
+          o.prefetch_depth = depth;
+          return ParallelEvmExecutor(o).Execute(block, state);
+        },
+        /*os_threads=*/4);
+  };
+  RunResult cold = run_depth(0);
+  for (int depth : {1, 8, 64}) {
+    RunResult warm = run_depth(depth);
+    EXPECT_EQ(cold.root, warm.root) << "depth " << depth;
+    EXPECT_EQ(cold.digest, warm.digest) << "depth " << depth;
+    ASSERT_EQ(cold.reports.size(), warm.reports.size());
+    for (size_t b = 0; b < cold.reports.size(); ++b) {
+      EXPECT_EQ(cold.reports[b].makespan_ns, warm.reports[b].makespan_ns);
+      EXPECT_EQ(cold.reports[b].receipts, warm.reports[b].receipts);
+      // Counters account the predicted-set quality, not how much of it the
+      // engine got to in time, so they engage at every depth.
+      EXPECT_GT(warm.reports[b].prefetch_hits + warm.reports[b].prefetch_misses, 0u);
+    }
+  }
 }
 
 TEST_F(DeterminismTest, ProposerIsOsThreadCountInvariant) {
