@@ -1,0 +1,227 @@
+// Chain-runner throughput: blocks/s through the streaming three-stage
+// pipeline (warm -> execute -> commit), with the incremental committer
+// overlapped on its own thread versus run serially after each block — the
+// paper's §6.2 commitment-bottleneck experiment, measured on the wall clock.
+// The simulated storage front-end charges LevelDB-like latency (cold 25us
+// point reads, batched background warm-ups), so execution genuinely idles on
+// storage while the committer hashes: exactly the overlap an async-commitment
+// node exploits.
+//
+// Determinism self-check: every configuration must produce the identical
+// final state root, which must equal a from-scratch serial replay's
+// WorldState::StateRoot(). Any mismatch exits non-zero.
+//
+// Usage: chain_throughput [--smoke]   (--smoke: CI-sized stream, same JSON)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chain/chain_runner.h"
+
+int main(int argc, char** argv) {
+  using namespace pevm;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s (supported: --smoke)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  WorkloadConfig config;
+  config.seed = 920'000;
+  config.transactions_per_block = smoke ? 60 : 200;
+  config.users = smoke ? 600 : 2'000;
+  const int n_blocks = smoke ? 4 : 12;
+  WorkloadGenerator gen(config);
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks = MakeBlocks(gen, n_blocks);
+
+  // From-scratch oracle: serial replay + full StateRoot rebuild at stream end.
+  WorldState oracle_state = genesis;
+  {
+    std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
+    for (const Block& block : blocks) {
+      oracle->Execute(block, oracle_state);
+    }
+  }
+  const std::string oracle_root = HexEncode(oracle_state.StateRoot());
+
+  std::printf("Chain throughput: %d blocks x %d txs, parallelevm executor\n", n_blocks,
+              config.transactions_per_block);
+  std::printf("(simulated storage: cold 200us, warm 500ns; commit = incremental MPT)\n\n");
+  std::printf("%-11s %-9s %-11s %-9s %-10s %-10s %-11s %s\n", "os_threads", "overlap",
+              "blocks/s", "wall_ms", "exec_busy", "commit_busy", "max_queues", "speedup");
+
+  struct Row {
+    int os_threads = 0;
+    bool overlap = false;
+    double blocks_per_sec = 0.0;
+    double wall_ms = 0.0;
+    double warm_busy = 0.0, exec_busy = 0.0, commit_busy = 0.0;
+    size_t max_exec_queue = 0, max_commit_queue = 0;
+  };
+  std::vector<Row> rows;
+
+  for (int os_threads : {1, 4, 16}) {
+    double serial_bps = 0.0;
+    for (bool overlap : {false, true}) {
+      ChainOptions options;
+      options.executor = ExecutorKind::kParallelEvm;
+      options.exec.threads = 16;
+      options.exec.os_threads = os_threads;
+      options.exec.prefetch_depth = 0;
+      options.exec.storage.cold_read_ns = 200'000;
+      options.exec.storage.warm_read_ns = 500;
+      options.queue_depth = 3;
+      options.overlap_commit = overlap;
+
+      ChainRunner runner(options, genesis);
+      for (const Block& block : blocks) {
+        if (!runner.Submit(block)) {
+          std::fprintf(stderr, "FATAL: Submit rejected mid-stream\n");
+          return 1;
+        }
+      }
+      ChainReport report = runner.Finish();
+      if (report.blocks_committed != blocks.size()) {
+        std::fprintf(stderr, "FATAL: committed %llu of %zu blocks\n",
+                     static_cast<unsigned long long>(report.blocks_committed), blocks.size());
+        return 1;
+      }
+      if (HexEncode(report.final_root) != oracle_root) {
+        std::fprintf(stderr,
+                     "FATAL: os_threads=%d overlap=%d final root diverged from serial replay\n",
+                     os_threads, overlap);
+        return 1;
+      }
+
+      Row row;
+      row.os_threads = os_threads;
+      row.overlap = overlap;
+      row.blocks_per_sec = report.blocks_per_sec();
+      row.wall_ms = report.wall_ns / 1e6;
+      row.warm_busy = report.warm.busy_fraction();
+      row.exec_busy = report.exec.busy_fraction();
+      row.commit_busy = report.commit.busy_fraction();
+      row.max_exec_queue = report.exec.max_queue_depth;
+      row.max_commit_queue = report.commit.max_queue_depth;
+      rows.push_back(row);
+      if (!overlap) {
+        serial_bps = row.blocks_per_sec;
+      }
+      char speedup[32] = "-";
+      if (overlap && serial_bps > 0.0) {
+        std::snprintf(speedup, sizeof(speedup), "%.2fx", row.blocks_per_sec / serial_bps);
+      }
+      std::printf("%-11d %-9s %-11.2f %-9.1f %-10.3f %-10.3f %zu/%-9zu %s\n", os_threads,
+                  overlap ? "yes" : "no", row.blocks_per_sec, row.wall_ms, row.exec_busy,
+                  row.commit_busy, row.max_exec_queue, row.max_commit_queue, speedup);
+    }
+  }
+  std::printf("\n(overlap=yes commits block N-1 on a dedicated thread while block N\n");
+  std::printf(" executes; overlap=no commits inline — the serial-commitment baseline)\n");
+
+  // --- Stage-1 sweep: cross-block prefetch warm-up on/off. With depth > 0
+  // the warm stage batch-loads block N+1's predicted access set (learned
+  // hints + envelope keys) while block N executes, so execution sees warm
+  // reads instead of 200us cold misses. Roots must again be identical.
+  std::printf("\nCross-block prefetch (os_threads=4, overlapped commit):\n\n");
+  std::printf("%-15s %-11s %-9s %-10s %-10s %s\n", "prefetch_depth", "blocks/s", "wall_ms",
+              "warm_busy", "hits", "misses");
+  struct WarmRow {
+    int depth = 0;
+    double blocks_per_sec = 0.0;
+    double wall_ms = 0.0;
+    double warm_busy = 0.0;
+    uint64_t hits = 0, misses = 0;
+  };
+  std::vector<WarmRow> warm_rows;
+  for (int depth : {0, 8}) {
+    ChainOptions options;
+    options.executor = ExecutorKind::kParallelEvm;
+    options.exec.threads = 16;
+    options.exec.os_threads = 4;
+    options.exec.prefetch_depth = depth;
+    options.exec.storage.cold_read_ns = 200'000;
+    options.exec.storage.warm_read_ns = 500;
+    options.exec.storage.batch_base_ns = 200'000;
+    options.exec.storage.batch_key_ns = 1'000;
+    options.exec.storage.prefetch_workers = 2;
+    options.queue_depth = 3;
+    ChainRunner runner(options, genesis);
+    for (const Block& block : blocks) {
+      if (!runner.Submit(block)) {
+        std::fprintf(stderr, "FATAL: Submit rejected mid-stream\n");
+        return 1;
+      }
+    }
+    ChainReport report = runner.Finish();
+    if (HexEncode(report.final_root) != oracle_root) {
+      std::fprintf(stderr, "FATAL: prefetch_depth=%d final root diverged\n", depth);
+      return 1;
+    }
+    WarmRow row;
+    row.depth = depth;
+    row.blocks_per_sec = report.blocks_per_sec();
+    row.wall_ms = report.wall_ns / 1e6;
+    row.warm_busy = report.warm.busy_fraction();
+    for (const BlockReport& block_report : report.block_reports) {
+      row.hits += block_report.prefetch_hits;
+      row.misses += block_report.prefetch_misses;
+    }
+    warm_rows.push_back(row);
+    std::printf("%-15d %-11.2f %-9.1f %-10.3f %-10llu %llu\n", row.depth, row.blocks_per_sec,
+                row.wall_ms, row.warm_busy, static_cast<unsigned long long>(row.hits),
+                static_cast<unsigned long long>(row.misses));
+  }
+
+  FILE* json = std::fopen("BENCH_chain.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"chain_throughput\",\n  \"executor\": \"parallelevm\",\n"
+                 "  \"smoke\": %s,\n  \"blocks\": %d,\n  \"transactions_per_block\": %d,\n"
+                 "  \"cold_read_ns\": 200000,\n  \"results\": [\n",
+                 smoke ? "true" : "false", n_blocks, config.transactions_per_block);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"os_threads\": %d, \"overlap_commit\": %s, \"blocks_per_sec\": %.3f, "
+                   "\"wall_ms\": %.3f, \"warm_busy_frac\": %.4f, \"exec_busy_frac\": %.4f, "
+                   "\"commit_busy_frac\": %.4f, \"max_exec_queue\": %zu, "
+                   "\"max_commit_queue\": %zu}%s\n",
+                   r.os_threads, r.overlap ? "true" : "false", r.blocks_per_sec, r.wall_ms,
+                   r.warm_busy, r.exec_busy, r.commit_busy, r.max_exec_queue,
+                   r.max_commit_queue, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"overlap_speedup\": {");
+    bool first = true;
+    for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+      double serial = rows[i].blocks_per_sec;
+      double overlapped = rows[i + 1].blocks_per_sec;
+      std::fprintf(json, "%s\"%d\": %.3f", first ? "" : ", ", rows[i].os_threads,
+                   serial > 0.0 ? overlapped / serial : 0.0);
+      first = false;
+    }
+    std::fprintf(json, "},\n  \"prefetch_sweep\": [\n");
+    for (size_t i = 0; i < warm_rows.size(); ++i) {
+      const WarmRow& r = warm_rows[i];
+      std::fprintf(json,
+                   "    {\"prefetch_depth\": %d, \"blocks_per_sec\": %.3f, \"wall_ms\": %.3f, "
+                   "\"warm_busy_frac\": %.4f, \"prefetch_hits\": %llu, "
+                   "\"prefetch_misses\": %llu}%s\n",
+                   r.depth, r.blocks_per_sec, r.wall_ms, r.warm_busy,
+                   static_cast<unsigned long long>(r.hits),
+                   static_cast<unsigned long long>(r.misses),
+                   i + 1 < warm_rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"final_root\": \"%s\"\n}\n", oracle_root.c_str());
+    std::fclose(json);
+    std::printf("\nwrote BENCH_chain.json\n");
+  }
+  return 0;
+}

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# CI entry guarding the concurrent read phase and the async prefetch pipeline:
-# builds the tree with -fsanitize=thread (PEVM_SANITIZE=thread) and runs the
-# suites that drive the thread-pool pipeline and the background prefetch
-# engine hard. Any data race fails the script.
+# CI entry guarding the concurrent read phase, the async prefetch pipeline and
+# the chain runner's three-stage block pipeline: builds the tree with
+# -fsanitize=thread (PEVM_SANITIZE=thread) and runs the suites that drive the
+# thread-pool pipeline, the background prefetch engine and the streaming
+# warm/execute/commit threads hard. Any data race fails the script.
 #
 # Selection goes through ctest so gtest_discover_tests stays the single source
 # of truth for what exists. An empty selection is a HARD FAILURE: a typo in
@@ -14,11 +15,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 # The heavy differential battery is excluded: it is a semantics oracle, not a
 # race driver, and under TSan's ~10x slowdown it would dominate the gate.
-TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest)'}
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest)'}
 
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target determinism_test executor_test equivalence_test scheduled_test prefetch_test
+  --target determinism_test executor_test equivalence_test scheduled_test prefetch_test \
+           chain_test
 
 cd "$BUILD_DIR"
 selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')

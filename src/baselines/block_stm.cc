@@ -142,14 +142,17 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
   if (n == 0) {
     return report;
   }
-  if (store) {
+  if (store && !options_.external_warmup) {
     store->BeginBlock();
   }
+  const bool account_prefetch = store && options_.prefetch_depth > 0;
   std::vector<PrefetchRequest> requests;
   std::optional<PrefetchEngine> engine;
-  if (store && options_.prefetch_depth > 0) {
+  if (account_prefetch) {
     requests = BuildPrefetchRequests(block);
-    engine.emplace(*store, requests, options_.prefetch_depth);
+    if (!options_.external_warmup) {
+      engine.emplace(*store, requests, options_.prefetch_depth);
+    }
   }
 
   MvMemory mv;
@@ -376,6 +379,8 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
   if (engine) {
     engine->Finish();
     report.prefetch_wall_ns += engine->warm_wall_ns();
+  }
+  if (account_prefetch) {
     std::vector<ReadSet> observed(static_cast<size_t>(n));
     for (int j = 0; j < n; ++j) {
       for (const ReadRecord& r : txs[static_cast<size_t>(j)].reads) {

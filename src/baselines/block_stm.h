@@ -19,6 +19,7 @@ class BlockStmExecutor final : public Executor {
 
   std::string_view name() const override { return "block-stm"; }
   BlockReport Execute(const Block& block, WorldState& state) override;
+  SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:
   ExecOptions options_;

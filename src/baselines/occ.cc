@@ -15,8 +15,8 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
   size_t n = block.transactions.size();
 
   // Read phase (no operation logs: OCC cannot repair, only restart).
-  ReadPhase read = RunReadPhase(block, state, SpecMode::kPlain, cache, cost,
-                                options_.os_threads, store, options_.prefetch_depth, report);
+  ReadPhase read =
+      RunReadPhase(block, state, SpecMode::kPlain, cache, cost, options_, store, report);
   ScheduleResult schedule =
       ListSchedule(read.durations, options_.threads, options_.cost.dispatch_ns);
 

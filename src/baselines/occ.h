@@ -16,6 +16,7 @@ class OccExecutor final : public Executor {
 
   std::string_view name() const override { return "occ"; }
   BlockReport Execute(const Block& block, WorldState& state) override;
+  SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:
   ExecOptions options_;

@@ -21,17 +21,22 @@ BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
   // Serial execution still benefits from the async pipeline: the engine
   // warms transaction i + depth's predicted keys while transaction i
   // executes (this is the paper's Table-2 "Prefetch" row, made wall-clock).
-  if (store) {
+  // In chain mode (external_warmup) the runner's stage 1 already warmed the
+  // block, so only the deterministic accounting remains.
+  if (store && !options_.external_warmup) {
     store->BeginBlock();
   }
+  const bool account_prefetch = store && options_.prefetch_depth > 0 && n > 0;
   std::vector<PrefetchRequest> requests;
   std::optional<PrefetchEngine> engine;
-  if (store && options_.prefetch_depth > 0 && n > 0) {
+  if (account_prefetch) {
     requests = BuildPrefetchRequests(block);
-    engine.emplace(*store, requests, options_.prefetch_depth);
+    if (!options_.external_warmup) {
+      engine.emplace(*store, requests, options_.prefetch_depth);
+    }
   }
   std::vector<ReadSet> observed;  // Per-tx read sets for prefetch accounting.
-  if (engine) {
+  if (account_prefetch) {
     observed.reserve(n);
   }
 
@@ -55,7 +60,7 @@ BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
     uint64_t warm = TotalReadOps(receipt.stats) - std::min(TotalReadOps(receipt.stats), cold);
     t += cost.ExecutionCost(receipt.stats, cold, warm, /*with_ssa=*/false);
     report.instructions += receipt.stats.instructions;
-    if (engine) {
+    if (account_prefetch) {
       observed.push_back(view->read_set());
     }
     if (receipt.valid) {
@@ -68,6 +73,8 @@ BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
   if (engine) {
     engine->Finish();
     report.prefetch_wall_ns += engine->warm_wall_ns();
+  }
+  if (account_prefetch) {
     std::vector<const ReadSet*> reads(n, nullptr);
     for (size_t i = 0; i < n; ++i) {
       reads[i] = &observed[i];

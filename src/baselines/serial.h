@@ -14,6 +14,7 @@ class SerialExecutor final : public Executor {
 
   std::string_view name() const override { return "serial"; }
   BlockReport Execute(const Block& block, WorldState& state) override;
+  SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:
   ExecOptions options_;

@@ -1,0 +1,98 @@
+// A small bounded MPMC queue with blocking push/pop, used as the backpressure
+// channel between the chain runner's pipeline stages (src/chain/chain_runner.h).
+// Capacity bounds how far a producer stage may run ahead of its consumer: a
+// full queue blocks the producer, so an overloaded committer stalls execution
+// instead of letting diffs pile up without bound.
+//
+// Shutdown has two flavors, matching the runner's:
+//  - Close(): no more pushes; pops drain whatever is queued, then return empty.
+//  - Abort(): drop everything queued *and* close — consumers finish only the
+//    item they already popped, which is what keeps the committed prefix
+//    consistent on abort.
+#ifndef SRC_CHAIN_BOUNDED_QUEUE_H_
+#define SRC_CHAIN_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pevm {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  // Blocks while the queue is full. Returns false (dropping `item`) once the
+  // queue is closed or aborted.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    if (items_.size() > max_depth_) {
+      max_depth_ = items_.size();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty and open. Returns nullopt only when the
+  // queue is closed and fully drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return out;
+  }
+
+  // No more pushes; queued items remain poppable.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // Drops every queued item, then closes.
+  void Abort() {
+    std::lock_guard<std::mutex> lock(mu_);
+    items_.clear();
+    closed_ = true;
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  // High-water mark, sampled after each push.
+  size_t max_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return max_depth_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  size_t capacity_;
+  size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_CHAIN_BOUNDED_QUEUE_H_

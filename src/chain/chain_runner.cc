@@ -1,0 +1,200 @@
+#include "src/chain/chain_runner.h"
+
+#include <utility>
+
+#include "src/baselines/block_stm.h"
+#include "src/baselines/occ.h"
+#include "src/baselines/serial.h"
+#include "src/baselines/two_phase_locking.h"
+#include "src/core/parallel_evm.h"
+
+namespace pevm {
+
+std::string_view ExecutorKindName(ExecutorKind kind) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return "serial";
+    case ExecutorKind::kTwoPhaseLocking:
+      return "2pl";
+    case ExecutorKind::kOcc:
+      return "occ";
+    case ExecutorKind::kBlockStm:
+      return "block-stm";
+    case ExecutorKind::kParallelEvm:
+      return "parallelevm";
+  }
+  return "?";
+}
+
+std::unique_ptr<Executor> MakeExecutor(ExecutorKind kind, const ExecOptions& options) {
+  switch (kind) {
+    case ExecutorKind::kSerial:
+      return std::make_unique<SerialExecutor>(options);
+    case ExecutorKind::kTwoPhaseLocking:
+      return std::make_unique<TwoPhaseLockingExecutor>(options);
+    case ExecutorKind::kOcc:
+      return std::make_unique<OccExecutor>(options);
+    case ExecutorKind::kBlockStm:
+      return std::make_unique<BlockStmExecutor>(options);
+    case ExecutorKind::kParallelEvm:
+      return std::make_unique<ParallelEvmExecutor>(options);
+  }
+  return nullptr;
+}
+
+ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
+    : options_(options), state_(genesis), trie_(genesis) {
+  options_.exec.external_warmup = true;  // The runner owns the SimStore lifecycle.
+  executor_ = MakeExecutor(options_.executor, options_.exec);
+  store_ = executor_->chain_store();
+  seed_root_ = trie_.Root();
+  input_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
+  ready_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
+  diffs_ = std::make_unique<BoundedQueue<StateDiff>>(options_.queue_depth);
+  warm_thread_ = std::thread(&ChainRunner::WarmLoop, this);
+  exec_thread_ = std::thread(&ChainRunner::ExecLoop, this);
+  if (options_.overlap_commit) {
+    commit_thread_ = std::thread(&ChainRunner::CommitLoop, this);
+  }
+  run_timer_ = WallTimer();  // Exclude trie seeding and thread spawn from wall_ns.
+}
+
+ChainRunner::~ChainRunner() {
+  if (!finished_.load()) {
+    Abort();
+  }
+}
+
+bool ChainRunner::Submit(Block block) {
+  if (finished_.load()) {
+    return false;
+  }
+  if (!input_->Push(std::move(block))) {
+    return false;
+  }
+  blocks_submitted_.fetch_add(1);
+  return true;
+}
+
+ChainReport ChainRunner::Finish() {
+  if (finished_.load()) {
+    return *report_;
+  }
+  input_->Close();
+  JoinAll();
+  report_ = BuildReport(/*aborted=*/false);
+  finished_.store(true);
+  return *report_;
+}
+
+ChainReport ChainRunner::Abort() {
+  if (finished_.load()) {
+    return *report_;
+  }
+  // Drop everything queued; stages finish only the item they already hold, so
+  // the committed prefix stays a prefix.
+  input_->Abort();
+  ready_->Abort();
+  diffs_->Abort();
+  JoinAll();
+  report_ = BuildReport(/*aborted=*/true);
+  finished_.store(true);
+  return *report_;
+}
+
+void ChainRunner::WarmLoop() {
+  WallTimer stage;
+  while (std::optional<Block> block = input_->Pop()) {
+    WallTimer busy;
+    if (store_ && options_.exec.prefetch_depth > 0 && !block->transactions.empty()) {
+      // Whole-block warm-up: depth >= request count means the driver never
+      // waits for NotifyStarted, so Drain (join-without-abort) is safe.
+      std::vector<PrefetchRequest> requests = BuildPrefetchRequests(*block);
+      PrefetchEngine engine(*store_, std::move(requests),
+                            static_cast<int>(block->transactions.size()));
+      engine.Drain();
+    }
+    warm_stats_.busy_ns += busy.ElapsedNs();
+    ++warm_stats_.blocks;
+    if (!ready_->Push(std::move(*block))) {
+      break;  // Aborted downstream.
+    }
+  }
+  ready_->Close();
+  warm_stats_.wall_ns = stage.ElapsedNs();
+}
+
+void ChainRunner::ExecLoop() {
+  WallTimer stage;
+  while (std::optional<Block> block = ready_->Pop()) {
+    WallTimer busy;
+    state_.BeginDiff();
+    BlockReport report = executor_->Execute(*block, state_);
+    StateDiff diff = state_.TakeDiff();
+    exec_stats_.busy_ns += busy.ElapsedNs();
+    ++exec_stats_.blocks;
+    block_reports_.push_back(std::move(report));
+    if (options_.overlap_commit) {
+      if (!diffs_->Push(std::move(diff))) {
+        break;  // Aborted downstream.
+      }
+    } else {
+      CommitOne(diff);
+    }
+  }
+  diffs_->Close();
+  exec_stats_.wall_ns = stage.ElapsedNs();
+  if (!options_.overlap_commit) {
+    commit_stats_.wall_ns = exec_stats_.wall_ns;
+  }
+}
+
+void ChainRunner::CommitLoop() {
+  WallTimer stage;
+  while (std::optional<StateDiff> diff = diffs_->Pop()) {
+    CommitOne(*diff);
+  }
+  commit_stats_.wall_ns = stage.ElapsedNs();
+}
+
+void ChainRunner::CommitOne(const StateDiff& diff) {
+  WallTimer busy;
+  trie_.ApplyDiff(diff);
+  roots_.push_back(trie_.Root());
+  commit_stats_.busy_ns += busy.ElapsedNs();
+  ++commit_stats_.blocks;
+}
+
+void ChainRunner::JoinAll() {
+  if (warm_thread_.joinable()) {
+    warm_thread_.join();
+  }
+  if (exec_thread_.joinable()) {
+    exec_thread_.join();
+  }
+  if (commit_thread_.joinable()) {
+    commit_thread_.join();
+  }
+  run_wall_ns_ = run_timer_.ElapsedNs();
+}
+
+ChainReport ChainRunner::BuildReport(bool aborted) {
+  ChainReport report;
+  report.warm = warm_stats_;
+  report.exec = exec_stats_;
+  report.commit = commit_stats_;
+  report.warm.max_queue_depth = input_->max_depth();
+  report.exec.max_queue_depth = ready_->max_depth();
+  report.commit.max_queue_depth = diffs_->max_depth();
+  report.blocks_submitted = blocks_submitted_.load();
+  report.blocks_executed = exec_stats_.blocks;
+  report.blocks_committed = roots_.size();
+  report.wall_ns = run_wall_ns_;
+  report.aborted = aborted;
+  report.roots = roots_;
+  report.final_root = roots_.empty() ? seed_root_ : roots_.back();
+  report.block_reports = block_reports_;
+  return report;
+}
+
+}  // namespace pevm

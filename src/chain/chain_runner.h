@@ -1,0 +1,179 @@
+// ChainRunner: streaming multi-block execution as a three-stage pipeline
+// (the paper's full node loop, with the §6.2 commitment bottleneck taken off
+// the critical path):
+//
+//   stage 1 (warm)   — while block N executes, warm block N+1's predicted
+//                      access set into the executor's SimStore via the async
+//                      PrefetchEngine (cross-*block* prefetch; the per-tx
+//                      pipeline inside Execute is PR 2's).
+//   stage 2 (exec)   — run block N through any Executor on the shared
+//                      exec pipeline, journaling its write diff.
+//   stage 3 (commit) — fold block N-1's diff into a persistent incremental
+//                      MPT (IncrementalStateTrie) on a dedicated committer
+//                      thread, so state-root computation overlaps execution.
+//
+// Stages are connected by bounded queues (bounded_queue.h): a slow committer
+// back-pressures execution, a slow executor back-pressures warming and
+// Submit. Determinism contract (DESIGN.md §3.2): the pipeline changes wall
+// clock only. Roots, receipts and virtual makespans are bit-identical to
+// executing the same blocks one at a time, at every queue depth, OS thread
+// count and overlap setting, because (a) the committer replays each block's
+// ordered diff exactly as WorldState applied it and (b) SimStore warming
+// never carries values, so racing the warm stage against execution cannot
+// change what any transaction reads.
+#ifndef SRC_CHAIN_CHAIN_RUNNER_H_
+#define SRC_CHAIN_CHAIN_RUNNER_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "src/chain/bounded_queue.h"
+#include "src/chain/commit.h"
+#include "src/exec/executor.h"
+#include "src/exec/pipeline.h"
+
+namespace pevm {
+
+// Every block executor the repo implements, runnable under the chain runner.
+enum class ExecutorKind {
+  kSerial,
+  kTwoPhaseLocking,
+  kOcc,
+  kBlockStm,
+  kParallelEvm,
+};
+
+std::string_view ExecutorKindName(ExecutorKind kind);
+std::unique_ptr<Executor> MakeExecutor(ExecutorKind kind, const ExecOptions& options);
+
+struct ChainOptions {
+  ExecutorKind executor = ExecutorKind::kParallelEvm;
+  // Per-block executor options. The runner forces external_warmup = true (it
+  // owns the SimStore lifecycle; see ExecOptions).
+  ExecOptions exec;
+  // Capacity of each inter-stage queue: how many blocks a stage may run ahead
+  // of the next before backpressure stalls it.
+  size_t queue_depth = 4;
+  // When false, the diff is committed inline on the execution thread after
+  // each block (the serial-commitment baseline the overlapped pipeline is
+  // measured against); stage 3's thread is not started.
+  bool overlap_commit = true;
+};
+
+// Per-stage accounting. busy_ns counts time spent doing stage work (warming,
+// executing, committing); wall_ns is the stage thread's lifetime, so
+// busy_fraction() ~ 1 means the stage was the pipeline bottleneck. With
+// overlap_commit = false the commit stage runs on the exec thread and its
+// wall_ns mirrors the exec stage's.
+struct StageStats {
+  uint64_t busy_ns = 0;
+  uint64_t wall_ns = 0;
+  uint64_t blocks = 0;
+  size_t max_queue_depth = 0;  // High-water mark of the stage's input queue.
+
+  double busy_fraction() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(busy_ns) / static_cast<double>(wall_ns);
+  }
+};
+
+struct ChainReport {
+  StageStats warm;
+  StageStats exec;
+  StageStats commit;
+
+  uint64_t blocks_submitted = 0;
+  uint64_t blocks_executed = 0;
+  uint64_t blocks_committed = 0;  // == roots.size(); a consistent prefix.
+  uint64_t wall_ns = 0;           // First Submit to pipeline join.
+  bool aborted = false;
+
+  // State root after each committed block, in block order, plus the final
+  // root (the seed root when nothing committed).
+  std::vector<Hash256> roots;
+  Hash256 final_root{};
+
+  // Per-block executor reports, in block order, for executed blocks.
+  std::vector<BlockReport> block_reports;
+
+  double blocks_per_sec() const {
+    return wall_ns == 0 ? 0.0 : static_cast<double>(blocks_committed) * 1e9 /
+                                    static_cast<double>(wall_ns);
+  }
+};
+
+class ChainRunner {
+ public:
+  // Copies `genesis` as the chain's committed state and seeds the incremental
+  // trie from it (the one O(state) build in the stream's lifetime). Pipeline
+  // threads start immediately and idle on their queues.
+  ChainRunner(const ChainOptions& options, const WorldState& genesis);
+
+  // Aborts the stream if neither Finish nor Abort was called.
+  ~ChainRunner();
+
+  ChainRunner(const ChainRunner&) = delete;
+  ChainRunner& operator=(const ChainRunner&) = delete;
+
+  // Enqueues one block. Blocks the caller while the pipeline is saturated
+  // (backpressure). Returns false — dropping the block — after Finish/Abort.
+  bool Submit(Block block);
+
+  // Closes the stream, drains every stage, joins the pipeline and returns the
+  // final report. Idempotent (subsequent calls return the same report).
+  ChainReport Finish();
+
+  // Drops every queued block/diff, lets in-flight stage work finish, joins
+  // and reports. The committed prefix stays consistent: roots holds exactly
+  // the blocks whose diffs were fully applied, in block order.
+  ChainReport Abort();
+
+  // The chain's committed state (stable only after Finish/Abort).
+  const WorldState& state() const { return state_; }
+
+ private:
+  void WarmLoop();
+  void ExecLoop();
+  void CommitLoop();
+  void CommitOne(const StateDiff& diff);
+  void JoinAll();
+  ChainReport BuildReport(bool aborted);
+
+  ChainOptions options_;
+  std::unique_ptr<Executor> executor_;
+  SimStore* store_ = nullptr;  // Owned by executor_; null without storage sim.
+
+  WorldState state_;
+  IncrementalStateTrie trie_;
+  Hash256 seed_root_{};
+
+  std::unique_ptr<BoundedQueue<Block>> input_;     // Submit -> warm.
+  std::unique_ptr<BoundedQueue<Block>> ready_;     // warm -> exec.
+  std::unique_ptr<BoundedQueue<StateDiff>> diffs_; // exec -> commit.
+
+  std::thread warm_thread_;
+  std::thread exec_thread_;
+  std::thread commit_thread_;  // Only started when overlap_commit.
+
+  // Each stage's stats are written by that stage's thread only and read after
+  // the join; roots_/block_reports_ likewise.
+  StageStats warm_stats_;
+  StageStats exec_stats_;
+  StageStats commit_stats_;
+  std::vector<Hash256> roots_;
+  std::vector<BlockReport> block_reports_;
+
+  // Submit may race Finish/Abort (a producer thread aborted mid-stream), so
+  // the shared flags are atomic; the queues provide the actual cutoff.
+  std::atomic<uint64_t> blocks_submitted_{0};
+  std::atomic<bool> finished_{false};
+  WallTimer run_timer_;  // Reset at construction end, read after the join.
+  uint64_t run_wall_ns_ = 0;
+  std::optional<ChainReport> report_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_CHAIN_CHAIN_RUNNER_H_

@@ -1,0 +1,98 @@
+#include "src/chain/commit.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/support/rlp.h"
+
+namespace pevm {
+namespace {
+
+Hash256 SlotKey(const U256& slot) {
+  std::array<uint8_t, 32> be = slot.ToBigEndian();
+  return Keccak256(BytesView(be.data(), be.size()));
+}
+
+}  // namespace
+
+IncrementalStateTrie::IncrementalStateTrie(const WorldState& genesis) {
+  for (const auto& [address, account] : genesis.accounts()) {
+    AccountEntry& entry = entries_[address];
+    entry.balance = account.balance;
+    entry.nonce = account.nonce;
+    entry.code_hash = Keccak256(account.code);
+    entry.addr_key = Keccak256(address.view());
+    for (const auto& [slot, value] : account.storage) {
+      if (value.IsZero()) {
+        continue;
+      }
+      Hash256 key = SlotKey(slot);
+      entry.storage.Put(BytesView(key.data(), key.size()), RlpEncodeUint(value));
+    }
+    account_trie_.Put(
+        BytesView(entry.addr_key.data(), entry.addr_key.size()),
+        RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash));
+  }
+}
+
+IncrementalStateTrie::AccountEntry& IncrementalStateTrie::Ensure(const Address& address) {
+  auto [it, inserted] = entries_.try_emplace(address);
+  if (inserted) {
+    it->second.code_hash = Keccak256(Bytes{});
+    it->second.addr_key = Keccak256(address.view());
+  }
+  return it->second;
+}
+
+void IncrementalStateTrie::ApplyDiff(const StateDiff& diff) {
+  // Replay in journal order with WorldState's exact mutation semantics, then
+  // re-encode each dirty account body once. Account-trie insertion order does
+  // not matter (the MPT is canonical), only the final bodies do.
+  std::unordered_set<Address> dirty;
+  for (const auto& [key, value] : diff) {
+    switch (key.kind) {
+      case StateKeyKind::kBalance:
+        Ensure(key.address).balance = value;
+        dirty.insert(key.address);
+        break;
+      case StateKeyKind::kNonce:
+        Ensure(key.address).nonce = value.AsUint64();
+        dirty.insert(key.address);
+        break;
+      case StateKeyKind::kStorage:
+        if (value.IsZero()) {
+          // Clearing a slot never materializes the account (mirrors
+          // WorldState::SetStorage).
+          auto it = entries_.find(key.address);
+          if (it == entries_.end()) {
+            break;
+          }
+          Hash256 slot_key = SlotKey(key.slot);
+          it->second.storage.Delete(BytesView(slot_key.data(), slot_key.size()));
+          dirty.insert(key.address);
+        } else {
+          AccountEntry& entry = Ensure(key.address);
+          Hash256 slot_key = SlotKey(key.slot);
+          entry.storage.Put(BytesView(slot_key.data(), slot_key.size()),
+                            RlpEncodeUint(value));
+          dirty.insert(key.address);
+        }
+        break;
+    }
+  }
+  std::vector<TrieUpdate> updates;
+  updates.reserve(dirty.size());
+  for (const Address& address : dirty) {
+    const AccountEntry& entry = entries_.at(address);
+    TrieUpdate update;
+    update.key.assign(entry.addr_key.begin(), entry.addr_key.end());
+    update.value =
+        RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash);
+    updates.push_back(std::move(update));
+  }
+  account_trie_.ApplyDiff(updates);
+}
+
+Hash256 IncrementalStateTrie::Root() const { return account_trie_.RootHash(); }
+
+}  // namespace pevm

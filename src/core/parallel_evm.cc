@@ -18,8 +18,8 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
 
   // --- Read phase: speculative execution against the block-start state on
   // real OS threads, recording read/write sets and SSA operation logs. ---
-  ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
-                                options_.os_threads, store, options_.prefetch_depth, report);
+  ReadPhase read =
+      RunReadPhase(block, state, SpecMode::kWithLog, cache, cost, options_, store, report);
   ScheduleResult schedule = pre_execution_
                                 ? ScheduleResult{std::vector<uint64_t>(n, 0), 0}
                                 : ListSchedule(read.durations, options_.threads,

@@ -23,6 +23,7 @@ class ParallelEvmExecutor final : public Executor {
     return pre_execution_ ? "parallelevm+preexec" : "parallelevm";
   }
   BlockReport Execute(const Block& block, WorldState& state) override;
+  SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:
   ExecOptions options_;

@@ -32,8 +32,8 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
   size_t n = block.transactions.size();
   result.schedule.transactions.resize(n);
 
-  ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost,
-                                options.os_threads, store, options.prefetch_depth, report);
+  ReadPhase read =
+      RunReadPhase(block, state, SpecMode::kWithLog, cache, cost, options, store, report);
   ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
   WallTimer commit_timer;
@@ -109,8 +109,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
         break;
     }
   }
-  ReadPhase read = RunReadPhase(block, state, modes, cache, cost, options.os_threads, store,
-                                options.prefetch_depth, report);
+  ReadPhase read = RunReadPhase(block, state, modes, cache, cost, options, store, report);
   ScheduleResult sched = ListSchedule(read.durations, options.threads, options.cost.dispatch_ns);
 
   WallTimer commit_timer;

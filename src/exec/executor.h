@@ -37,6 +37,14 @@ struct ExecOptions {
   // Simulated storage latency/batching behind the prefetcher. All-zero
   // latencies (the default) keep the store as pure residency bookkeeping.
   SimStoreConfig storage;
+  // Chain-runner handoff (src/chain): when true, a ChainRunner owns the
+  // SimStore lifecycle — Execute neither clears residency (BeginBlock) nor
+  // starts its own PrefetchEngine, because the chain's warm-up stage already
+  // warmed this block while the previous one executed. The deterministic
+  // prefetch hit/miss/wasted accounting and the hint-table learning still run
+  // on the block-order pass, so those counters are bit-identical to a
+  // single-block run. Wall-clock only, like everything SimStore touches.
+  bool external_warmup = false;
 };
 
 struct BlockReport {
@@ -81,6 +89,12 @@ class Executor {
   // Executes the block's transactions in block order against `state`,
   // committing all effects (including the block-end coinbase fee credit).
   virtual BlockReport Execute(const Block& block, WorldState& state) = 0;
+  // Chain-runner handoff: the executor's simulated-storage front-end, created
+  // on demand (nullptr when the wall-clock storage model is disabled). The
+  // chain's warm-up stage warms block N+1's predicted access set into this
+  // store while block N executes. Call before Execute runs on another thread;
+  // the store itself is internally synchronized.
+  virtual SimStore* chain_store() { return nullptr; }
 };
 
 // Tracks which committed-state keys are memory-resident. Executors consult it

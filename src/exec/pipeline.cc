@@ -61,22 +61,28 @@ Speculation SpeculateTransaction(const WorldState& state, const BlockContext& co
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
-                       const CostModel& cost, int os_threads, SimStore* store,
-                       int prefetch_depth, BlockReport& report) {
+                       const CostModel& cost, const ExecOptions& options, SimStore* store,
+                       BlockReport& report) {
   WallTimer timer;
   size_t n = block.transactions.size();
   ReadPhase phase;
   phase.specs.resize(n);
   phase.durations.assign(n, 0);
 
-  if (store) {
+  if (store && !options.external_warmup) {
     store->BeginBlock();
   }
+  // The deterministic prefetch accounting (and hint learning) runs whenever
+  // the async pipeline is requested; the engine itself only when this call
+  // owns the warm-up (a chain runner's stage 1 already warmed the block).
+  const bool account_prefetch = store && options.prefetch_depth > 0 && n > 0;
   std::vector<PrefetchRequest> requests;
   std::optional<PrefetchEngine> engine;
-  if (store && prefetch_depth > 0 && n > 0) {
+  if (account_prefetch) {
     requests = BuildPrefetchRequests(block);
-    engine.emplace(*store, requests, prefetch_depth);
+    if (!options.external_warmup) {
+      engine.emplace(*store, requests, options.prefetch_depth);
+    }
   }
 
   // Parallel section: each index touches only the read-only committed state
@@ -92,7 +98,7 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     phase.specs[i] = SpeculateTransaction(state, block.context, block.transactions[i],
                                           modes[i] == SpecMode::kWithLog, store);
   };
-  int width = ThreadPool::ResolveWidth(os_threads);
+  int width = ThreadPool::ResolveWidth(options.os_threads);
   if (width <= 1 || n <= 1) {
     for (size_t i = 0; i < n; ++i) {
       speculate_one(i);
@@ -120,7 +126,7 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     report.oplog_entries += spec.log.size();
     report.instructions += spec.receipt.stats.instructions;
   }
-  if (engine) {
+  if (account_prefetch) {
     std::vector<const ReadSet*> reads(n, nullptr);
     for (size_t i = 0; i < n; ++i) {
       if (modes[i] != SpecMode::kSkip) {
@@ -134,11 +140,10 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
 }
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
-                       StateCache& cache, const CostModel& cost, int os_threads,
-                       SimStore* store, int prefetch_depth, BlockReport& report) {
+                       StateCache& cache, const CostModel& cost, const ExecOptions& options,
+                       SimStore* store, BlockReport& report) {
   std::vector<SpecMode> modes(block.transactions.size(), mode);
-  return RunReadPhase(block, state, modes, cache, cost, os_threads, store, prefetch_depth,
-                      report);
+  return RunReadPhase(block, state, modes, cache, cost, options, store, report);
 }
 
 std::vector<PrefetchRequest> BuildPrefetchRequests(const Block& block) {

@@ -57,25 +57,28 @@ struct ReadPhase {
 };
 
 // Runs the read phase: speculates every non-skipped transaction concurrently
-// on `os_threads` real OS threads (0 = one per hardware thread) against the
-// read-only committed state, then runs all order-dependent accounting
-// (StateCache cold/warm classification, virtual durations, report counters)
-// as a deterministic block-order pass on the calling thread. Adds the elapsed
-// wall time to report.read_wall_ns.
+// on `options.os_threads` real OS threads (0 = one per hardware thread)
+// against the read-only committed state, then runs all order-dependent
+// accounting (StateCache cold/warm classification, virtual durations, report
+// counters) as a deterministic block-order pass on the calling thread. Adds
+// the elapsed wall time to report.read_wall_ns.
 //
 // When `store` is set, reads pay the simulated storage latency; when
-// additionally `prefetch_depth` > 0, a background PrefetchEngine warms the
-// predicted access set of transaction i+depth while transaction i executes,
-// and the deterministic prefetch hit/miss/wasted counters land in `report`.
+// additionally `options.prefetch_depth` > 0, a background PrefetchEngine
+// warms the predicted access set of transaction i+depth while transaction i
+// executes, and the deterministic prefetch hit/miss/wasted counters land in
+// `report`. With `options.external_warmup` a chain runner already warmed the
+// block (and owns residency), so the per-block BeginBlock and the engine are
+// skipped — the deterministic accounting still runs.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
-                       const CostModel& cost, int os_threads, SimStore* store,
-                       int prefetch_depth, BlockReport& report);
+                       const CostModel& cost, const ExecOptions& options, SimStore* store,
+                       BlockReport& report);
 
 // Uniform-mode convenience overload.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
-                       StateCache& cache, const CostModel& cost, int os_threads,
-                       SimStore* store, int prefetch_depth, BlockReport& report);
+                       StateCache& cache, const CostModel& cost, const ExecOptions& options,
+                       SimStore* store, BlockReport& report);
 
 // Builds the per-transaction static access-set predictions (envelope
 // accounts + calldata selector) the PrefetchEngine and AccountPrefetch

@@ -1,5 +1,6 @@
 #include "src/state/world_state.h"
 
+#include <cassert>
 #include <vector>
 
 #include "src/support/rlp.h"
@@ -34,11 +35,24 @@ const Bytes* WorldState::GetCode(const Address& a) const {
   return &it->second.code;
 }
 
-void WorldState::SetBalance(const Address& a, const U256& v) { accounts_[a].balance = v; }
+void WorldState::SetBalance(const Address& a, const U256& v) {
+  if (diff_) {
+    diff_->emplace_back(StateKey::Balance(a), v);
+  }
+  accounts_[a].balance = v;
+}
 
-void WorldState::SetNonce(const Address& a, uint64_t n) { accounts_[a].nonce = n; }
+void WorldState::SetNonce(const Address& a, uint64_t n) {
+  if (diff_) {
+    diff_->emplace_back(StateKey::Nonce(a), U256(n));
+  }
+  accounts_[a].nonce = n;
+}
 
 void WorldState::SetStorage(const Address& a, const U256& slot, const U256& v) {
+  if (diff_) {
+    diff_->emplace_back(StateKey::Storage(a, slot), v);
+  }
   if (v.IsZero()) {
     auto it = accounts_.find(a);
     if (it != accounts_.end()) {
@@ -49,7 +63,18 @@ void WorldState::SetStorage(const Address& a, const U256& slot, const U256& v) {
   accounts_[a].storage[slot] = v;
 }
 
-void WorldState::SetCode(const Address& a, Bytes code) { accounts_[a].code = std::move(code); }
+void WorldState::SetCode(const Address& a, Bytes code) {
+  assert(!diff_ && "code writes are not journalable (deployment is genesis-only)");
+  accounts_[a].code = std::move(code);
+}
+
+void WorldState::BeginDiff() { diff_.emplace(); }
+
+StateDiff WorldState::TakeDiff() {
+  StateDiff out = diff_ ? std::move(*diff_) : StateDiff{};
+  diff_.reset();
+  return out;
+}
 
 U256 WorldState::Get(const StateKey& key) const {
   switch (key.kind) {
@@ -83,6 +108,16 @@ void WorldState::Apply(const WriteSet& writes) {
   }
 }
 
+Bytes RlpAccountBody(uint64_t nonce, const U256& balance, const Hash256& storage_root,
+                     const Hash256& code_hash) {
+  std::vector<Bytes> body;
+  body.push_back(RlpEncodeUint(U256(nonce)));
+  body.push_back(RlpEncodeUint(balance));
+  body.push_back(RlpEncodeBytes(BytesView(storage_root.data(), storage_root.size())));
+  body.push_back(RlpEncodeBytes(BytesView(code_hash.data(), code_hash.size())));
+  return RlpEncodeList(body);
+}
+
 Hash256 WorldState::StateRoot() const {
   MerklePatriciaTrie state_trie;
   for (const auto& [addr, account] : accounts_) {
@@ -98,13 +133,9 @@ Hash256 WorldState::StateRoot() const {
     }
     Hash256 storage_root = storage_trie.RootHash();
     Hash256 code_hash = Keccak256(account.code);
-    std::vector<Bytes> body;
-    body.push_back(RlpEncodeUint(U256(account.nonce)));
-    body.push_back(RlpEncodeUint(account.balance));
-    body.push_back(RlpEncodeBytes(BytesView(storage_root.data(), storage_root.size())));
-    body.push_back(RlpEncodeBytes(BytesView(code_hash.data(), code_hash.size())));
     Hash256 addr_key = Keccak256(addr.view());
-    state_trie.Put(BytesView(addr_key.data(), addr_key.size()), RlpEncodeList(body));
+    state_trie.Put(BytesView(addr_key.data(), addr_key.size()),
+                   RlpAccountBody(account.nonce, account.balance, storage_root, code_hash));
   }
   return state_trie.RootHash();
 }

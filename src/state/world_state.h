@@ -4,7 +4,10 @@
 #ifndef SRC_STATE_WORLD_STATE_H_
 #define SRC_STATE_WORLD_STATE_H_
 
+#include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "src/state/state_key.h"
 #include "src/support/bytes.h"
@@ -30,6 +33,14 @@ using WriteSet = std::unordered_map<StateKey, U256, StateKeyHash>;
 // first read from the base state during speculative execution.
 using ReadSet = std::unordered_map<StateKey, U256, StateKeyHash>;
 
+// One block's committed mutations in application order (zero storage values
+// clear slots). Order is preserved — not collapsed into a map — because
+// account-existence semantics depend on it: a non-zero storage write
+// materializes an account, a zero one does not, so an incremental committer
+// replaying the diff must see the same write sequence WorldState saw. See
+// BeginDiff/TakeDiff below.
+using StateDiff = std::vector<std::pair<StateKey, U256>>;
+
 class WorldState {
  public:
   // Reads return zero for absent accounts/slots, per EVM semantics.
@@ -50,6 +61,15 @@ class WorldState {
   // Applies a whole write set (a transaction commit).
   void Apply(const WriteSet& writes);
 
+  // Diff journal (the chain runner's commitment input): between BeginDiff and
+  // TakeDiff every balance/nonce/storage mutation — including zero storage
+  // writes that clear slots, and the block-end coinbase credit — is appended
+  // to an ordered journal. TakeDiff stops recording and hands the journal
+  // over. Code writes are not journalable (contract deployment is
+  // genesis-only; SetCode asserts no diff is active).
+  void BeginDiff();
+  StateDiff TakeDiff();
+
   // Full Merkle Patricia state root (secure trie: keyed by keccak(address) /
   // keccak(slot), account bodies RLP-encoded as [nonce, balance, storageRoot,
   // codeHash]). This is the §6.2 correctness oracle; O(state size), so tests
@@ -62,14 +82,28 @@ class WorldState {
 
   size_t account_count() const { return accounts_.size(); }
 
+  // Read-only iteration over every account (incremental committers seed their
+  // long-lived tries from this; StateRoot above is the from-scratch oracle).
+  const std::unordered_map<Address, Account>& accounts() const { return accounts_; }
+
   // Exact structural equality. Two equal states have equal roots and digests;
   // differential tests prefer this because it is O(state) map compares with
-  // no hashing (StateRoot rebuilds the whole trie, ~1000x slower).
-  friend bool operator==(const WorldState&, const WorldState&) = default;
+  // no hashing (StateRoot rebuilds the whole trie, ~1000x slower). The diff
+  // journal is bookkeeping, not state, and is excluded.
+  friend bool operator==(const WorldState& a, const WorldState& b) {
+    return a.accounts_ == b.accounts_;
+  }
 
  private:
   std::unordered_map<Address, Account> accounts_;
+  std::optional<StateDiff> diff_;  // Engaged while a diff is being recorded.
 };
+
+// RLP account body [nonce, balance, storageRoot, codeHash] — the leaf payload
+// of the secure state trie. Shared by the from-scratch StateRoot below and
+// the chain runner's incremental committer so the two can never drift.
+Bytes RlpAccountBody(uint64_t nonce, const U256& balance, const Hash256& storage_root,
+                     const Hash256& code_hash);
 
 }  // namespace pevm
 

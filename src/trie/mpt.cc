@@ -59,12 +59,30 @@ struct MerklePatriciaTrie::Node {
   Bytes value;  // Leaf value, or the value stored at a branch.
   std::array<std::unique_ptr<Node>, 16> children;  // Branch children.
   std::unique_ptr<Node> child;                     // Extension child.
+
+  // Incremental-root memo: the node's RLP encoding and its parent-visible
+  // reference, recomputed lazily after a mutation dirtied this node. Cleared
+  // (never updated in place) by the mutation path, so a stale memo can never
+  // be observed.
+  mutable Bytes enc_memo;
+  mutable Bytes ref_memo;
+  mutable bool enc_valid = false;
+  mutable bool ref_valid = false;
 };
 
 namespace {
 
 using Node = MerklePatriciaTrie::Node;
 using Type = Node::Type;
+
+// Marks a node whose subtree (or own path/value) changed: both memos are
+// stale. Fresh nodes start invalid, so only retained nodes need this.
+void Dirty(Node* node) {
+  node->enc_valid = false;
+  node->ref_valid = false;
+  node->enc_memo.clear();
+  node->ref_memo.clear();
+}
 
 std::unique_ptr<Node> MakeLeaf(BytesView nibbles, BytesView value) {
   auto n = std::make_unique<Node>(Type::kLeaf);
@@ -74,7 +92,8 @@ std::unique_ptr<Node> MakeLeaf(BytesView nibbles, BytesView value) {
 }
 
 // Inserts into `node` (which may be null) and returns the new subtree root.
-// Sets `*replaced` if an existing key's value was overwritten.
+// Sets `*replaced` if an existing key's value was overwritten. Every retained
+// node on the mutation spine is dirtied; untouched subtrees keep their memos.
 std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, BytesView value,
                              bool* replaced) {
   if (node == nullptr) {
@@ -82,6 +101,7 @@ std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, Byte
   }
   switch (node->type) {
     case Type::kBranch: {
+      Dirty(node.get());
       if (nibbles.empty()) {
         *replaced = !node->value.empty();
         node->value.assign(value.begin(), value.end());
@@ -96,6 +116,7 @@ std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, Byte
       size_t cp = CommonPrefix(node->path, nibbles);
       if (cp == node->path.size() && cp == nibbles.size()) {
         *replaced = true;
+        Dirty(node.get());
         node->value.assign(value.begin(), value.end());
         return node;
       }
@@ -124,10 +145,12 @@ std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, Byte
     case Type::kExtension: {
       size_t cp = CommonPrefix(node->path, nibbles);
       if (cp == node->path.size()) {
+        Dirty(node.get());
         node->child = Insert(std::move(node->child), nibbles.subspan(cp), value, replaced);
         return node;
       }
-      // Diverges inside the extension path: split it.
+      // Diverges inside the extension path: split it. The moved-down child
+      // subtree is unchanged, so its memo stays valid.
       auto branch = std::make_unique<Node>(Type::kBranch);
       // Remainder of the existing extension (after cp and the branch nibble).
       uint8_t old_nib = node->path[cp];
@@ -160,7 +183,8 @@ std::unique_ptr<Node> Insert(std::unique_ptr<Node> node, BytesView nibbles, Byte
 
 // Rebuilds the canonical form after a deletion left `node` possibly
 // degenerate (an extension whose child is a leaf/extension, or a branch with
-// a single remaining slot).
+// a single remaining slot). Nodes whose path grows are dirtied; subtrees
+// adopted without modification keep their memos.
 std::unique_ptr<Node> Canonicalize(std::unique_ptr<Node> node) {
   if (node == nullptr) {
     return nullptr;
@@ -170,12 +194,9 @@ std::unique_ptr<Node> Canonicalize(std::unique_ptr<Node> node) {
     if (child == nullptr) {
       return nullptr;
     }
-    if (child->type == Type::kLeaf) {
-      // extension(p) + leaf(q) => leaf(p ++ q).
-      child->path.insert(child->path.begin(), node->path.begin(), node->path.end());
-      return std::move(node->child);
-    }
-    if (child->type == Type::kExtension) {
+    if (child->type == Type::kLeaf || child->type == Type::kExtension) {
+      // extension(p) + leaf/extension(q) => leaf/extension(p ++ q).
+      Dirty(child);
       child->path.insert(child->path.begin(), node->path.begin(), node->path.end());
       return std::move(node->child);
     }
@@ -209,6 +230,7 @@ std::unique_ptr<Node> Canonicalize(std::unique_ptr<Node> node) {
         ext->child = std::move(child);
         return ext;
       }
+      Dirty(child.get());
       child->path.insert(child->path.begin(), nib);
       return child;  // Leaf or extension: path prefix grows by the nibble.
     }
@@ -240,6 +262,7 @@ std::unique_ptr<Node> Remove(std::unique_ptr<Node> node, BytesView nibbles, bool
       if (!*removed) {
         return node;
       }
+      Dirty(node.get());
       return Canonicalize(std::move(node));
     }
     case Type::kBranch: {
@@ -249,6 +272,7 @@ std::unique_ptr<Node> Remove(std::unique_ptr<Node> node, BytesView nibbles, bool
         }
         node->value.clear();
         *removed = true;
+        Dirty(node.get());
         return Canonicalize(std::move(node));
       }
       uint8_t idx = nibbles[0];
@@ -256,26 +280,36 @@ std::unique_ptr<Node> Remove(std::unique_ptr<Node> node, BytesView nibbles, bool
       if (!*removed) {
         return node;
       }
+      Dirty(node.get());
       return Canonicalize(std::move(node));
     }
   }
   return node;
 }
 
-Bytes Encode(const Node* node);
+const Bytes& Encode(const Node* node);
 
 // RLP item that refers to a child: the node's encoding if shorter than 32
-// bytes, otherwise the RLP of its keccak hash.
-Bytes Ref(const Node* node) {
-  Bytes enc = Encode(node);
-  if (enc.size() < 32) {
-    return enc;
+// bytes, otherwise the RLP of its keccak hash. Memoized per node.
+const Bytes& Ref(const Node* node) {
+  if (node->ref_valid) {
+    return node->ref_memo;
   }
-  Hash256 h = Keccak256(enc);
-  return RlpEncodeBytes(BytesView(h.data(), h.size()));
+  const Bytes& enc = Encode(node);
+  if (enc.size() < 32) {
+    node->ref_memo = enc;
+  } else {
+    Hash256 h = Keccak256(enc);
+    node->ref_memo = RlpEncodeBytes(BytesView(h.data(), h.size()));
+  }
+  node->ref_valid = true;
+  return node->ref_memo;
 }
 
-Bytes Encode(const Node* node) {
+const Bytes& Encode(const Node* node) {
+  if (node->enc_valid) {
+    return node->enc_memo;
+  }
   std::vector<Bytes> items;
   switch (node->type) {
     case Type::kLeaf: {
@@ -296,7 +330,9 @@ Bytes Encode(const Node* node) {
       break;
     }
   }
-  return RlpEncodeList(items);
+  node->enc_memo = RlpEncodeList(items);
+  node->enc_valid = true;
+  return node->enc_memo;
 }
 
 }  // namespace
@@ -324,6 +360,20 @@ bool MerklePatriciaTrie::Delete(BytesView key) {
     --size_;
   }
   return removed;
+}
+
+size_t MerklePatriciaTrie::ApplyDiff(std::span<const TrieUpdate> updates) {
+  size_t changed = 0;
+  for (const TrieUpdate& update : updates) {
+    if (update.value.empty()) {
+      changed += Delete(update.key) ? 1 : 0;
+    } else {
+      size_t before = size_;
+      Put(update.key, update.value);
+      changed += size_ != before ? 1 : 0;
+    }
+  }
+  return changed;
 }
 
 std::optional<Bytes> MerklePatriciaTrie::Get(BytesView key) const {

@@ -4,19 +4,37 @@
 // their MPT roots match.
 //
 // Supports insertion, lookup and deletion (with full node re-canonicalization
-// on delete, so the root stays content-addressed). The executors only insert
-// — the root is recomputed from full state snapshots — but deletion completes
-// the substrate for downstream users (cleared accounts/slots).
+// on delete, so the root stays content-addressed), plus a batched ApplyDiff
+// entry point for incremental commitment (src/chain): a long-lived trie
+// absorbs one block's write-set diff instead of being rebuilt from a full
+// state snapshot.
+//
+// Incremental roots: every node memoizes its RLP encoding and its reference
+// (the encoding if < 32 bytes, else the RLP of its keccak hash); mutations
+// invalidate the memo along the touched spine only. RootHash after a k-key
+// diff therefore re-hashes O(k · depth) nodes, not the whole trie — the
+// asymptotic win that lets the chain runner's committer stage keep up with
+// streaming execution. Memoization is invisible to results: roots stay
+// bit-identical to a from-scratch build (locked in by the MptPropertyTest
+// randomized battery).
 #ifndef SRC_TRIE_MPT_H_
 #define SRC_TRIE_MPT_H_
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "src/support/bytes.h"
 #include "src/support/keccak.h"
 
 namespace pevm {
+
+// One batched trie mutation: an empty value deletes the key (Ethereum's
+// convention for cleared slots); deleting an absent key is a no-op.
+struct TrieUpdate {
+  Bytes key;
+  Bytes value;
+};
 
 class MerklePatriciaTrie {
  public:
@@ -28,7 +46,7 @@ class MerklePatriciaTrie {
   MerklePatriciaTrie& operator=(const MerklePatriciaTrie&) = delete;
 
   // Inserts (or replaces) `key -> value`. Empty values are rejected (they
-  // would mean deletion in Ethereum; callers simply skip empty slots).
+  // would mean deletion in Ethereum; callers use Delete/ApplyDiff instead).
   void Put(BytesView key, BytesView value);
 
   // Returns the stored value, if any.
@@ -38,8 +56,14 @@ class MerklePatriciaTrie {
   // equals that of a trie built without the key.
   bool Delete(BytesView key);
 
+  // Applies a block diff in order: non-empty values are Put, empty values are
+  // Delete. Returns the number of updates that changed the key set (inserts
+  // plus removals of present keys; value replacements don't count).
+  size_t ApplyDiff(std::span<const TrieUpdate> updates);
+
   // Keccak-256 root. The empty trie hashes to
-  // keccak(rlp("")) = 0x56e81f17...63b421, matching Ethereum.
+  // keccak(rlp("")) = 0x56e81f17...63b421, matching Ethereum. Amortized
+  // O(dirty spine) thanks to the per-node encoding memo.
   Hash256 RootHash() const;
 
   size_t size() const { return size_; }

@@ -1,0 +1,268 @@
+// Chain-runner battery: the streaming three-stage pipeline must be invisible
+// to results. Per-block state roots out of the incremental committer are
+// bit-identical to a serial per-block from-scratch StateRoot() recomputation
+// for every executor, OS thread count, queue depth and commit-overlap
+// setting; virtual makespans match direct (non-chained) execution; and
+// shutdown — graceful or aborted mid-stream — always leaves a consistent
+// committed prefix.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "src/chain/chain_runner.h"
+#include "src/workload/block_gen.h"
+
+namespace pevm {
+namespace {
+
+constexpr ExecutorKind kAllExecutors[] = {
+    ExecutorKind::kSerial,   ExecutorKind::kTwoPhaseLocking, ExecutorKind::kOcc,
+    ExecutorKind::kBlockStm, ExecutorKind::kParallelEvm,
+};
+
+WorkloadConfig SmallConfig(uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.transactions_per_block = 48;
+  config.users = 300;
+  config.tokens = 6;
+  config.pools = 3;
+  config.funds = 2;
+  return config;
+}
+
+struct Stream {
+  WorldState genesis;
+  std::vector<Block> blocks;
+  std::vector<Hash256> oracle_roots;  // Serial replay, from-scratch roots.
+};
+
+// The oracle: execute the stream one block at a time with the serial executor
+// and recompute the full state root from scratch after every block.
+Stream MakeStream(uint64_t seed, int blocks) {
+  WorkloadGenerator gen(SmallConfig(seed));
+  Stream stream;
+  stream.genesis = gen.MakeGenesis();
+  WorldState state = stream.genesis;
+  std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
+  for (int b = 0; b < blocks; ++b) {
+    stream.blocks.push_back(gen.MakeBlock());
+    oracle->Execute(stream.blocks.back(), state);
+    stream.oracle_roots.push_back(state.StateRoot());
+  }
+  return stream;
+}
+
+void ExpectRootsMatch(const ChainReport& report, const Stream& stream) {
+  ASSERT_EQ(report.roots.size(), stream.oracle_roots.size());
+  for (size_t b = 0; b < stream.oracle_roots.size(); ++b) {
+    ASSERT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+  }
+  EXPECT_EQ(HexEncode(report.final_root), HexEncode(stream.oracle_roots.back()));
+}
+
+TEST(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsAndQueueDepths) {
+  Stream stream = MakeStream(9100, 5);
+  for (ExecutorKind kind : kAllExecutors) {
+    for (int os_threads : {1, 4, 16}) {
+      for (bool overlap : {true, false}) {
+        SCOPED_TRACE(testing::Message() << ExecutorKindName(kind) << " os_threads=" << os_threads
+                                        << " overlap=" << overlap);
+        ChainOptions options;
+        options.executor = kind;
+        options.exec.os_threads = os_threads;
+        options.overlap_commit = overlap;
+        // Rotate queue depth with thread count so a depth-1 (fully
+        // backpressured) pipeline is covered too.
+        options.queue_depth = os_threads == 4 ? 1 : 4;
+        ChainRunner runner(options, stream.genesis);
+        for (const Block& block : stream.blocks) {
+          ASSERT_TRUE(runner.Submit(block));
+        }
+        ChainReport report = runner.Finish();
+        EXPECT_FALSE(report.aborted);
+        EXPECT_EQ(report.blocks_submitted, stream.blocks.size());
+        EXPECT_EQ(report.blocks_executed, stream.blocks.size());
+        ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+        ExpectRootsMatch(report, stream);
+      }
+    }
+  }
+}
+
+TEST(ChainRunnerTest, VirtualMakespansMatchDirectExecution) {
+  Stream stream = MakeStream(9200, 4);
+  for (ExecutorKind kind : kAllExecutors) {
+    SCOPED_TRACE(ExecutorKindName(kind));
+    // Direct, non-pipelined execution is the virtual-time reference.
+    std::unique_ptr<Executor> direct = MakeExecutor(kind, ExecOptions{});
+    WorldState state = stream.genesis;
+    std::vector<uint64_t> direct_makespans;
+    for (const Block& block : stream.blocks) {
+      direct_makespans.push_back(direct->Execute(block, state).makespan_ns);
+    }
+    for (int os_threads : {1, 16}) {
+      SCOPED_TRACE(testing::Message() << "os_threads=" << os_threads);
+      ChainOptions options;
+      options.executor = kind;
+      options.exec.os_threads = os_threads;
+      ChainRunner runner(options, stream.genesis);
+      for (const Block& block : stream.blocks) {
+        ASSERT_TRUE(runner.Submit(block));
+      }
+      ChainReport report = runner.Finish();
+      ASSERT_EQ(report.block_reports.size(), direct_makespans.size());
+      for (size_t b = 0; b < direct_makespans.size(); ++b) {
+        EXPECT_EQ(report.block_reports[b].makespan_ns, direct_makespans[b]) << "block " << b;
+      }
+    }
+  }
+}
+
+TEST(ChainRunnerTest, StorageSimAndCrossBlockPrefetchKeepRootsIdentical) {
+  Stream stream = MakeStream(9300, 4);
+  ChainOptions options;
+  options.executor = ExecutorKind::kParallelEvm;
+  options.exec.os_threads = 4;
+  options.exec.prefetch_depth = 4;
+  options.exec.storage.cold_read_ns = 2'000;
+  options.exec.storage.warm_read_ns = 200;
+  options.exec.storage.batch_base_ns = 4'000;
+  options.exec.storage.batch_key_ns = 100;
+  ChainRunner runner(options, stream.genesis);
+  for (const Block& block : stream.blocks) {
+    ASSERT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+  ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+  ExpectRootsMatch(report, stream);
+  // The warm stage actually warmed something.
+  EXPECT_EQ(report.warm.blocks, stream.blocks.size());
+  EXPECT_GT(report.warm.busy_ns, 0u);
+}
+
+TEST(ChainRunnerTest, EmptyStreamReportsSeedRoot) {
+  WorkloadGenerator gen(SmallConfig(9400));
+  WorldState genesis = gen.MakeGenesis();
+  ChainRunner runner(ChainOptions{}, genesis);
+  ChainReport report = runner.Finish();
+  EXPECT_EQ(report.blocks_committed, 0u);
+  EXPECT_TRUE(report.roots.empty());
+  EXPECT_EQ(HexEncode(report.final_root), HexEncode(genesis.StateRoot()));
+  // Finish is idempotent and Submit is rejected afterwards.
+  EXPECT_FALSE(runner.Submit(Block{}));
+  EXPECT_EQ(runner.Finish().blocks_committed, 0u);
+}
+
+TEST(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
+  std::mt19937_64 rng(4242);
+  auto address_for = [](uint64_t i) {
+    std::array<uint8_t, Address::kSize> bytes{};
+    bytes[0] = 0xAB;
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[12 + b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    return Address(bytes);
+  };
+
+  // Random genesis: some funded accounts with storage.
+  WorldState state;
+  for (uint64_t i = 0; i < 16; ++i) {
+    state.SetBalance(address_for(i), U256(1'000 + i));
+    if (i % 3 == 0) {
+      state.SetNonce(address_for(i), i);
+    }
+    for (uint64_t s = 0; s < i % 5; ++s) {
+      state.SetStorage(address_for(i), U256(s), U256(100 * i + s));
+    }
+  }
+  IncrementalStateTrie trie(state);
+  ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot()));
+
+  // Stream of random "blocks": interleaved balance/nonce/storage writes,
+  // slot clears (including on absent accounts) and fresh-account creation,
+  // journaled exactly as the chain runner journals them.
+  for (int round = 0; round < 50; ++round) {
+    state.BeginDiff();
+    int writes = 1 + static_cast<int>(rng() % 12);
+    for (int w = 0; w < writes; ++w) {
+      Address address = address_for(rng() % 24);  // Indices 16..23 start absent.
+      switch (rng() % 4) {
+        case 0:
+          state.SetBalance(address, U256(rng() % 5'000));
+          break;
+        case 1:
+          state.SetNonce(address, rng() % 64);
+          break;
+        case 2:
+          state.SetStorage(address, U256(rng() % 6), U256(1 + rng() % 1'000));
+          break;
+        case 3:
+          // Slot clear: deletes when present, no-op (and must not
+          // materialize the account) when absent.
+          state.SetStorage(address, U256(rng() % 6), U256{});
+          break;
+      }
+    }
+    StateDiff diff = state.TakeDiff();
+    trie.ApplyDiff(diff);
+    ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot())) << "round " << round;
+    ASSERT_EQ(trie.account_count(), state.account_count()) << "round " << round;
+  }
+}
+
+TEST(ChainShutdownTest, AbortMidStreamLeavesConsistentCommittedPrefix) {
+  Stream stream = MakeStream(9500, 12);
+  ChainOptions options;
+  options.executor = ExecutorKind::kParallelEvm;
+  options.exec.os_threads = 4;
+  options.queue_depth = 2;  // Small queues: the producer blocks on backpressure.
+  ChainRunner runner(options, stream.genesis);
+
+  std::atomic<uint64_t> submitted{0};
+  std::thread producer([&] {
+    for (const Block& block : stream.blocks) {
+      if (!runner.Submit(block)) {
+        break;  // Aborted under us: expected.
+      }
+      submitted.fetch_add(1);
+    }
+  });
+  // Let a few blocks flow, then pull the plug mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ChainReport report = runner.Abort();
+  producer.join();
+
+  EXPECT_TRUE(report.aborted);
+  EXPECT_LE(report.blocks_committed, report.blocks_executed);
+  EXPECT_LE(report.blocks_executed, submitted.load());
+  // No tearing: exactly the committed blocks have roots, and they form the
+  // same prefix the oracle computes.
+  ASSERT_EQ(report.roots.size(), report.blocks_committed);
+  for (size_t b = 0; b < report.roots.size(); ++b) {
+    EXPECT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+  }
+  // The stream is dead: submissions bounce, Abort is idempotent.
+  EXPECT_FALSE(runner.Submit(stream.blocks[0]));
+  EXPECT_EQ(runner.Abort().blocks_committed, report.blocks_committed);
+}
+
+TEST(ChainShutdownTest, DestructorAbortsWithoutDeadlock) {
+  Stream stream = MakeStream(9600, 4);
+  ChainOptions options;
+  options.executor = ExecutorKind::kSerial;
+  options.queue_depth = 1;
+  {
+    ChainRunner runner(options, stream.genesis);
+    ASSERT_TRUE(runner.Submit(stream.blocks[0]));
+    ASSERT_TRUE(runner.Submit(stream.blocks[1]));
+    // Destructor must abort, drain and join on its own.
+  }
+}
+
+}  // namespace
+}  // namespace pevm

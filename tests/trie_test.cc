@@ -2,6 +2,7 @@
 
 #include <map>
 #include <random>
+#include <vector>
 
 #include "src/support/bytes.h"
 #include "src/trie/mpt.h"
@@ -239,6 +240,59 @@ TEST_P(MptDeletePropertyTest, RandomInsertDeleteAgainstOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MptDeletePropertyTest, ::testing::Values(7, 17, 27, 37, 47));
+
+// ApplyDiff + incremental-root battery: a long-lived trie absorbing random
+// batched diffs (interleaved inserts, updates and deletes, with the memoized
+// incremental RootHash queried after every batch) must agree at each step
+// with a trie built from scratch from the surviving key set. This is the
+// chain committer's exact usage pattern (src/chain/commit.cc).
+class MptApplyDiffPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MptApplyDiffPropertyTest, BatchedDiffsMatchFromScratchRebuild) {
+  std::mt19937_64 rng(GetParam());
+  std::map<Bytes, Bytes> oracle;
+  MerklePatriciaTrie trie;
+  for (int batch = 0; batch < 40; ++batch) {
+    std::vector<TrieUpdate> updates;
+    size_t batch_size = 1 + rng() % 20;
+    size_t expected_changed = 0;
+    std::map<Bytes, Bytes> pending = oracle;  // Tracks within-batch ordering.
+    for (size_t u = 0; u < batch_size; ++u) {
+      size_t key_len = 1 + rng() % 6;
+      Bytes key(key_len);
+      for (auto& b : key) {
+        b = static_cast<uint8_t>(rng() % 3);  // Tiny alphabet: deep sharing.
+      }
+      TrieUpdate update;
+      update.key = key;
+      if (rng() % 3 != 0) {
+        update.value = {static_cast<uint8_t>(rng() % 255 + 1),
+                        static_cast<uint8_t>(rng() % 256)};
+        if (!pending.contains(key)) {
+          ++expected_changed;
+        }
+        pending[key] = update.value;
+      } else {
+        // Empty value = delete (may hit an absent key: must be a no-op).
+        if (pending.erase(key) > 0) {
+          ++expected_changed;
+        }
+      }
+      updates.push_back(std::move(update));
+    }
+    EXPECT_EQ(trie.ApplyDiff(updates), expected_changed) << "batch " << batch;
+    oracle = std::move(pending);
+
+    ASSERT_EQ(trie.size(), oracle.size()) << "batch " << batch;
+    MerklePatriciaTrie rebuilt;
+    for (const auto& [k, v] : oracle) {
+      rebuilt.Put(k, v);
+    }
+    ASSERT_EQ(HexEncode(trie.RootHash()), HexEncode(rebuilt.RootHash())) << "batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MptApplyDiffPropertyTest, ::testing::Values(11, 23, 59, 83));
 
 }  // namespace
 }  // namespace pevm
