@@ -11,9 +11,15 @@
 // final state root, which must equal a from-scratch serial replay's
 // WorldState::StateRoot(). Any mismatch exits non-zero.
 //
+// A third sweep measures the durability boundary (BENCH_kv.json): the same
+// stream committed with no persistence, with the embedded KV store absorbing
+// every block batch without fsync, and with one fdatasync per block — the
+// write-amplification and commit-wall cost of crash safety.
+//
 // Usage: chain_throughput [--smoke]   (--smoke: CI-sized stream, same JSON)
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -178,6 +184,109 @@ int main(int argc, char** argv) {
     std::printf("%-15d %-11.2f %-9.1f %-10.3f %-10llu %llu\n", row.depth, row.blocks_per_sec,
                 row.wall_ms, row.warm_busy, static_cast<unsigned long long>(row.hits),
                 static_cast<unsigned long long>(row.misses));
+  }
+
+  // --- Persistence sweep: what durability costs. Identical stream, identical
+  // roots; the only variables are whether stage 3 feeds the KV store and
+  // whether each block batch waits for fdatasync.
+  std::printf("\nPersistence (os_threads=4, overlapped commit):\n\n");
+  std::printf("%-12s %-7s %-11s %-9s %-12s %-10s %-9s %s\n", "store", "fsync", "blocks/s",
+              "wall_ms", "commit_busy", "MB_logged", "fsyncs", "sync_ms");
+  struct KvRow {
+    const char* store = "none";
+    bool fsync = false;
+    double blocks_per_sec = 0.0;
+    double wall_ms = 0.0;
+    double commit_busy = 0.0;
+    double apply_ms = 0.0, persist_ms = 0.0, sync_ms = 0.0;
+    uint64_t bytes_appended = 0, fsyncs = 0, nodes = 0;
+  };
+  std::vector<KvRow> kv_rows;
+  const std::filesystem::path kv_root =
+      std::filesystem::temp_directory_path() / "pevm_bench_kv";
+  std::filesystem::remove_all(kv_root);
+  struct KvMode {
+    const char* name;
+    PersistMode persist;
+    bool fsync;
+  };
+  const KvMode kv_modes[] = {
+      {"none", PersistMode::kNone, false},
+      {"kv", PersistMode::kKv, false},
+      {"kv", PersistMode::kKv, true},
+  };
+  for (const KvMode& mode : kv_modes) {
+    ChainOptions options;
+    options.executor = ExecutorKind::kParallelEvm;
+    options.exec.threads = 16;
+    options.exec.os_threads = 4;
+    options.exec.storage.cold_read_ns = 200'000;
+    options.exec.storage.warm_read_ns = 500;
+    options.queue_depth = 3;
+    options.persist = mode.persist;
+    if (mode.persist == PersistMode::kKv) {
+      const std::filesystem::path dir = kv_root / (mode.fsync ? "sync" : "nosync");
+      options.kv_dir = dir.string();
+      options.kv.fsync = mode.fsync;
+    }
+    ChainRunner runner(options, genesis);
+    for (const Block& block : blocks) {
+      if (!runner.Submit(block)) {
+        std::fprintf(stderr, "FATAL: Submit rejected mid-stream\n");
+        return 1;
+      }
+    }
+    ChainReport report = runner.Finish();
+    if (HexEncode(report.final_root) != oracle_root) {
+      std::fprintf(stderr, "FATAL: persist=%s fsync=%d final root diverged\n", mode.name,
+                   mode.fsync);
+      return 1;
+    }
+    KvRow row;
+    row.store = mode.name;
+    row.fsync = mode.fsync;
+    row.blocks_per_sec = report.blocks_per_sec();
+    row.wall_ms = report.wall_ns / 1e6;
+    row.commit_busy = report.commit.busy_fraction();
+    row.bytes_appended = report.kv_bytes_appended;
+    row.fsyncs = report.kv_fsyncs;
+    row.sync_ms = report.kv_sync_ns / 1e6;
+    for (const BlockDurability& d : report.durability) {
+      row.apply_ms += d.apply_ns / 1e6;
+      row.persist_ms += d.persist_ns / 1e6;
+      row.nodes += d.nodes_written;
+    }
+    kv_rows.push_back(row);
+    std::printf("%-12s %-7s %-11.2f %-9.1f %-12.3f %-10.2f %-9llu %.2f\n", row.store,
+                row.fsync ? "yes" : "no", row.blocks_per_sec, row.wall_ms, row.commit_busy,
+                row.bytes_appended / 1e6, static_cast<unsigned long long>(row.fsyncs),
+                row.sync_ms);
+  }
+  std::filesystem::remove_all(kv_root);
+
+  FILE* kv_json = std::fopen("BENCH_kv.json", "w");
+  if (kv_json != nullptr) {
+    std::fprintf(kv_json,
+                 "{\n  \"bench\": \"chain_throughput_persistence\",\n"
+                 "  \"executor\": \"parallelevm\",\n  \"smoke\": %s,\n  \"blocks\": %d,\n"
+                 "  \"transactions_per_block\": %d,\n  \"results\": [\n",
+                 smoke ? "true" : "false", n_blocks, config.transactions_per_block);
+    for (size_t i = 0; i < kv_rows.size(); ++i) {
+      const KvRow& r = kv_rows[i];
+      std::fprintf(kv_json,
+                   "    {\"store\": \"%s\", \"fsync\": %s, \"blocks_per_sec\": %.3f, "
+                   "\"wall_ms\": %.3f, \"commit_busy_frac\": %.4f, \"bytes_appended\": %llu, "
+                   "\"fsyncs\": %llu, \"nodes_written\": %llu, \"apply_ms\": %.3f, "
+                   "\"persist_ms\": %.3f, \"sync_ms\": %.3f}%s\n",
+                   r.store, r.fsync ? "true" : "false", r.blocks_per_sec, r.wall_ms,
+                   r.commit_busy, static_cast<unsigned long long>(r.bytes_appended),
+                   static_cast<unsigned long long>(r.fsyncs),
+                   static_cast<unsigned long long>(r.nodes), r.apply_ms, r.persist_ms,
+                   r.sync_ms, i + 1 < kv_rows.size() ? "," : "");
+    }
+    std::fprintf(kv_json, "  ],\n  \"final_root\": \"%s\"\n}\n", oracle_root.c_str());
+    std::fclose(kv_json);
+    std::printf("\nwrote BENCH_kv.json\n");
   }
 
   FILE* json = std::fopen("BENCH_chain.json", "w");

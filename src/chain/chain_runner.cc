@@ -1,5 +1,7 @@
 #include "src/chain/chain_runner.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "src/baselines/block_stm.h"
@@ -42,12 +44,61 @@ std::unique_ptr<Executor> MakeExecutor(ExecutorKind kind, const ExecOptions& opt
   return nullptr;
 }
 
+namespace {
+
+[[noreturn]] void FatalChain(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "chain_runner: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+
+}  // namespace
+
 ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
-    : options_(options), state_(genesis), trie_(genesis) {
+    : options_(options), state_(genesis) {
   options_.exec.external_warmup = true;  // The runner owns the SimStore lifecycle.
+  switch (options_.persist) {
+    case PersistMode::kNone:
+      trie_.emplace(state_);
+      break;
+    case PersistMode::kInMemory:
+      node_store_ = std::make_unique<InMemoryNodeStore>();
+      trie_.emplace(state_, node_store_.get());
+      break;
+    case PersistMode::kKv: {
+      std::string error;
+      kv_store_ = KvStore::Open(options_.kv_dir, options_.kv, &error);
+      if (!kv_store_) {
+        FatalChain("cannot open kv store", error);
+      }
+      node_store_ = std::make_unique<KvNodeStore>(*kv_store_);
+      if (std::optional<RecoveredChain> recovered = RecoverChain(*kv_store_)) {
+        // Resume: the durable manifest wins over the genesis argument. The
+        // re-seeded trie's root cross-checks the flat mirror against the
+        // manifest — a mismatch means the store is internally inconsistent,
+        // which the commit-marker protocol is supposed to make impossible.
+        state_ = std::move(recovered->state);
+        recovered_blocks_ = recovered->blocks_committed;
+        trie_.emplace(state_, node_store_.get(),
+                      IncrementalStateTrie::SeedMode::kAlreadyDurable);
+        if (trie_->Root() != recovered->root) {
+          FatalChain("recovered state root mismatch", options_.kv_dir);
+        }
+      } else {
+        trie_.emplace(state_, node_store_.get());
+      }
+      break;
+    }
+  }
+  genesis_durability_ = trie_->genesis_stats();
+  if (options_.kv_backed_sim_store) {
+    if (!kv_store_) {
+      FatalChain("kv_backed_sim_store requires persist == kKv", options_.kv_dir);
+    }
+    options_.exec.storage.backing = kv_store_.get();
+  }
   executor_ = MakeExecutor(options_.executor, options_.exec);
   store_ = executor_->chain_store();
-  seed_root_ = trie_.Root();
+  seed_root_ = trie_->Root();
   input_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
   ready_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
   diffs_ = std::make_unique<BoundedQueue<StateDiff>>(options_.queue_depth);
@@ -159,8 +210,23 @@ void ChainRunner::CommitLoop() {
 
 void ChainRunner::CommitOne(const StateDiff& diff) {
   WallTimer busy;
-  trie_.ApplyDiff(diff);
-  roots_.push_back(trie_.Root());
+  trie_->ApplyDiff(diff);
+  Hash256 root = trie_->Root();
+  BlockDurability durability;
+  durability.apply_ns = busy.ElapsedNs();
+  if (node_store_ != nullptr) {
+    // Chain-lifetime block index: a resumed runner keeps counting where the
+    // recovered manifest left off.
+    WallTimer persist;
+    NodeStoreCommitStats stats = trie_->CommitBlock(recovered_blocks_ + roots_.size());
+    durability.persist_ns = persist.ElapsedNs();
+    durability.sync_ns = stats.sync_ns;
+    durability.nodes_written = stats.nodes_written;
+    durability.bytes_appended = stats.bytes_appended;
+    durability.fsyncs = stats.fsyncs;
+  }
+  roots_.push_back(root);
+  durability_.push_back(durability);
   commit_stats_.busy_ns += busy.ElapsedNs();
   ++commit_stats_.blocks;
 }
@@ -189,8 +255,18 @@ ChainReport ChainRunner::BuildReport(bool aborted) {
   report.blocks_submitted = blocks_submitted_.load();
   report.blocks_executed = exec_stats_.blocks;
   report.blocks_committed = roots_.size();
+  report.blocks_resumed = recovered_blocks_;
   report.wall_ns = run_wall_ns_;
   report.aborted = aborted;
+  report.durability = durability_;
+  report.kv_bytes_appended = genesis_durability_.bytes_appended;
+  report.kv_fsyncs = genesis_durability_.fsyncs;
+  report.kv_sync_ns = genesis_durability_.sync_ns;
+  for (const BlockDurability& d : durability_) {
+    report.kv_bytes_appended += d.bytes_appended;
+    report.kv_fsyncs += d.fsyncs;
+    report.kv_sync_ns += d.sync_ns;
+  }
   report.roots = roots_;
   report.final_root = roots_.empty() ? seed_root_ : roots_.back();
   report.block_reports = block_reports_;

@@ -49,6 +49,16 @@ enum class ExecutorKind {
 std::string_view ExecutorKindName(ExecutorKind kind);
 std::unique_ptr<Executor> MakeExecutor(ExecutorKind kind, const ExecOptions& options);
 
+// Where stage 3 persists committed blocks. kNone keeps the pre-durability
+// behaviour (trie only); kInMemory attaches the accounting NodeStore (same
+// write stream, no I/O); kKv opens — or reopens — the embedded log-structured
+// store at ChainOptions::kv_dir and makes every committed block durable.
+enum class PersistMode {
+  kNone,
+  kInMemory,
+  kKv,
+};
+
 struct ChainOptions {
   ExecutorKind executor = ExecutorKind::kParallelEvm;
   // Per-block executor options. The runner forces external_warmup = true (it
@@ -61,6 +71,19 @@ struct ChainOptions {
   // each block (the serial-commitment baseline the overlapped pipeline is
   // measured against); stage 3's thread is not started.
   bool overlap_commit = true;
+  // Durability (see PersistMode). With kKv, a directory that already holds
+  // committed blocks resumes: the runner rebuilds the committed WorldState
+  // from the store, verifies its root against the durable manifest, and keeps
+  // numbering blocks where the manifest left off — the `genesis` constructor
+  // argument is ignored in that case. Determinism contract: persistence
+  // changes wall clock only; roots/receipts/makespans stay bit-identical.
+  PersistMode persist = PersistMode::kNone;
+  std::string kv_dir;  // Store directory; required when persist == kKv.
+  KvOptions kv;        // fsync / segment-size / compaction knobs.
+  // Route the executor SimStore's cold reads through the KV store's flat
+  // state records (real preads against the same file the committer writes)
+  // instead of the simulated cold latency. Requires persist == kKv.
+  bool kv_backed_sim_store = false;
 };
 
 // Per-stage accounting. busy_ns counts time spent doing stage work (warming,
@@ -79,6 +102,18 @@ struct StageStats {
   }
 };
 
+// What making one block durable cost (all-zero under PersistMode::kNone;
+// bytes but no fsyncs under kInMemory). persist_ns ⊂ the commit stage's
+// busy_ns; sync_ns ⊂ persist_ns.
+struct BlockDurability {
+  uint64_t apply_ns = 0;    // Diff replay + incremental re-root.
+  uint64_t persist_ns = 0;  // Dirty-node harvest + store commit (incl. sync).
+  uint64_t sync_ns = 0;     // Inside fdatasync.
+  uint64_t nodes_written = 0;
+  uint64_t bytes_appended = 0;  // Framed log bytes, commit marker included.
+  uint64_t fsyncs = 0;
+};
+
 struct ChainReport {
   StageStats warm;
   StageStats exec;
@@ -87,8 +122,16 @@ struct ChainReport {
   uint64_t blocks_submitted = 0;
   uint64_t blocks_executed = 0;
   uint64_t blocks_committed = 0;  // == roots.size(); a consistent prefix.
+  uint64_t blocks_resumed = 0;    // Durable blocks recovered at construction.
   uint64_t wall_ns = 0;           // First Submit to pipeline join.
   bool aborted = false;
+
+  // Per committed block (this run only, index-aligned with roots), plus the
+  // run's totals including the genesis seal.
+  std::vector<BlockDurability> durability;
+  uint64_t kv_bytes_appended = 0;
+  uint64_t kv_fsyncs = 0;
+  uint64_t kv_sync_ns = 0;
 
   // State root after each committed block, in block order, plus the final
   // root (the seed root when nothing committed).
@@ -133,6 +176,14 @@ class ChainRunner {
   // The chain's committed state (stable only after Finish/Abort).
   const WorldState& state() const { return state_; }
 
+  // Blocks found already durable when the KV directory was reopened (0 on a
+  // fresh directory or without persistence). New blocks number from here.
+  uint64_t recovered_blocks() const { return recovered_blocks_; }
+
+  // The backing store (null unless persist == kKv). Test introspection and
+  // explicit SyncNow; the runner itself owns the lifecycle.
+  KvStore* kv_store() { return kv_store_.get(); }
+
  private:
   void WarmLoop();
   void ExecLoop();
@@ -142,12 +193,20 @@ class ChainRunner {
   ChainReport BuildReport(bool aborted);
 
   ChainOptions options_;
+  // Durability stack. kv_store_ precedes executor_ deliberately: the
+  // executor's SimStore may hold a backing pointer into it, so the store must
+  // be destroyed last.
+  std::unique_ptr<KvStore> kv_store_;
+  std::unique_ptr<NodeStore> node_store_;
   std::unique_ptr<Executor> executor_;
   SimStore* store_ = nullptr;  // Owned by executor_; null without storage sim.
 
   WorldState state_;
-  IncrementalStateTrie trie_;
+  // Engaged in the constructor (after recovery decides the seed); never reset.
+  std::optional<IncrementalStateTrie> trie_;
   Hash256 seed_root_{};
+  uint64_t recovered_blocks_ = 0;
+  NodeStoreCommitStats genesis_durability_;
 
   std::unique_ptr<BoundedQueue<Block>> input_;     // Submit -> warm.
   std::unique_ptr<BoundedQueue<Block>> ready_;     // warm -> exec.
@@ -164,6 +223,7 @@ class ChainRunner {
   StageStats commit_stats_;
   std::vector<Hash256> roots_;
   std::vector<BlockReport> block_reports_;
+  std::vector<BlockDurability> durability_;
 
   // Submit may race Finish/Abort (a producer thread aborted mid-stream), so
   // the shared flags are atomic; the queues provide the actual cutoff.

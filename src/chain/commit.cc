@@ -1,6 +1,5 @@
 #include "src/chain/commit.h"
 
-#include <unordered_set>
 #include <vector>
 
 #include "src/support/rlp.h"
@@ -15,23 +14,53 @@ Hash256 SlotKey(const U256& slot) {
 
 }  // namespace
 
-IncrementalStateTrie::IncrementalStateTrie(const WorldState& genesis) {
+IncrementalStateTrie::IncrementalStateTrie(const WorldState& genesis, NodeStore* store,
+                                           SeedMode mode)
+    : store_(store) {
+  const bool persist_genesis = store_ != nullptr && mode == SeedMode::kFresh;
   for (const auto& [address, account] : genesis.accounts()) {
     AccountEntry& entry = entries_[address];
     entry.balance = account.balance;
     entry.nonce = account.nonce;
     entry.code_hash = Keccak256(account.code);
     entry.addr_key = Keccak256(address.view());
+    if (persist_genesis) {
+      store_->PutAccount(address, account.balance, account.nonce);
+      if (!account.code.empty()) {
+        store_->PutCode(address, BytesView(account.code.data(), account.code.size()));
+      }
+    }
     for (const auto& [slot, value] : account.storage) {
       if (value.IsZero()) {
         continue;
       }
       Hash256 key = SlotKey(slot);
       entry.storage.Put(BytesView(key.data(), key.size()), RlpEncodeUint(value));
+      if (persist_genesis) {
+        store_->PutStorage(address, slot, value);
+      }
     }
     account_trie_.Put(
         BytesView(entry.addr_key.data(), entry.addr_key.size()),
         RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash));
+  }
+  if (persist_genesis) {
+    auto sink = [this](const Hash256& hash, BytesView encoding) {
+      store_->PutNode(hash, encoding);
+    };
+    for (auto& [address, entry] : entries_) {
+      entry.storage.HarvestDirtyNodes(sink);
+    }
+    account_trie_.HarvestDirtyNodes(sink);
+    genesis_stats_ = store_->CommitGenesis(Root());
+  } else if (store_ != nullptr) {
+    // Resume: the snapshot came from the store, so every node this seed built
+    // is already durable. Align the flags; the next harvest emits only what
+    // post-resume blocks dirty.
+    for (auto& [address, entry] : entries_) {
+      entry.storage.MarkAllPersisted();
+    }
+    account_trie_.MarkAllPersisted();
   }
 }
 
@@ -70,12 +99,18 @@ void IncrementalStateTrie::ApplyDiff(const StateDiff& diff) {
           Hash256 slot_key = SlotKey(key.slot);
           it->second.storage.Delete(BytesView(slot_key.data(), slot_key.size()));
           dirty.insert(key.address);
+          if (store_ != nullptr) {
+            store_->PutStorage(key.address, key.slot, value);
+          }
         } else {
           AccountEntry& entry = Ensure(key.address);
           Hash256 slot_key = SlotKey(key.slot);
           entry.storage.Put(BytesView(slot_key.data(), slot_key.size()),
                             RlpEncodeUint(value));
           dirty.insert(key.address);
+          if (store_ != nullptr) {
+            store_->PutStorage(key.address, key.slot, value);
+          }
         }
         break;
     }
@@ -89,10 +124,34 @@ void IncrementalStateTrie::ApplyDiff(const StateDiff& diff) {
     update.value =
         RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash);
     updates.push_back(std::move(update));
+    if (store_ != nullptr) {
+      // Every dirty account gets a mirror record — even an all-zero body
+      // materializes the account, and recovery must rebuild the exact account
+      // set (roots depend on it).
+      store_->PutAccount(address, entry.balance, entry.nonce);
+      pending_storage_dirty_.insert(address);
+    }
   }
   account_trie_.ApplyDiff(updates);
 }
 
 Hash256 IncrementalStateTrie::Root() const { return account_trie_.RootHash(); }
+
+NodeStoreCommitStats IncrementalStateTrie::CommitBlock(uint64_t block_index) {
+  if (store_ == nullptr) {
+    return {};
+  }
+  auto sink = [this](const Hash256& hash, BytesView encoding) {
+    store_->PutNode(hash, encoding);
+  };
+  // Storage tries first only by convention — the archive is content-addressed
+  // so harvest order cannot matter.
+  for (const Address& address : pending_storage_dirty_) {
+    entries_.at(address).storage.HarvestDirtyNodes(sink);
+  }
+  pending_storage_dirty_.clear();
+  account_trie_.HarvestDirtyNodes(sink);
+  return store_->CommitBlock(block_index, Root());
+}
 
 }  // namespace pevm

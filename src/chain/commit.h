@@ -12,11 +12,22 @@
 // semantics — in particular a zero storage write never materializes an
 // account, while any balance/nonce write (even of zero) does — because the
 // secure trie includes every account the state map holds, empty or not.
+//
+// Durability (optional): given a NodeStore, the trie additionally streams
+// each block's effects to it — the flat-state mirror during ApplyDiff and the
+// dirty trie nodes (account trie + touched storage tries, via the MPT's
+// HarvestDirtyNodes) at CommitBlock, which seals the batch atomically with
+// the (block index, root) manifest entry. Seeding replays the whole genesis
+// image; resuming from an already-durable state (SeedMode::kAlreadyDurable)
+// writes nothing and marks every node persisted instead, so the next harvest
+// emits only post-resume mutations.
 #ifndef SRC_CHAIN_COMMIT_H_
 #define SRC_CHAIN_COMMIT_H_
 
 #include <unordered_map>
+#include <unordered_set>
 
+#include "src/chain/node_store.h"
 #include "src/state/world_state.h"
 #include "src/trie/mpt.h"
 
@@ -24,19 +35,38 @@ namespace pevm {
 
 class IncrementalStateTrie {
  public:
+  // How the seeding snapshot relates to the attached store (ignored without
+  // one): kFresh persists the full genesis image and seals it with
+  // CommitGenesis; kAlreadyDurable assumes the snapshot was recovered *from*
+  // the store and only aligns the persisted flags.
+  enum class SeedMode { kFresh, kAlreadyDurable };
+
   // Seeds the trie from a full snapshot (one O(state) build at stream start;
   // every block after that is incremental).
-  explicit IncrementalStateTrie(const WorldState& genesis);
+  explicit IncrementalStateTrie(const WorldState& genesis, NodeStore* store = nullptr,
+                                SeedMode mode = SeedMode::kFresh);
 
   // Replays one block's ordered mutation journal and folds the dirty account
   // bodies into the account trie. Storage-slot writes update the per-account
   // storage trie (zero value = slot delete); dirty storage roots are
-  // recomputed incrementally as well.
+  // recomputed incrementally as well. With a store attached, the flat-state
+  // mirror entries for every touched account/slot are forwarded into the
+  // store's pending batch as a side effect.
   void ApplyDiff(const StateDiff& diff);
 
   // Root of the account trie. Bit-identical to WorldState::StateRoot() of the
   // state that produced the applied diffs. Amortized O(dirty spine).
   Hash256 Root() const;
+
+  // Harvests the nodes dirtied since the last commit into the store and seals
+  // the block batch (one durable commit, one fsync). `block_index` is the
+  // chain-lifetime index — a resumed runner keeps counting where the
+  // recovered manifest left off. No-op (all-zero stats) without a store.
+  NodeStoreCommitStats CommitBlock(uint64_t block_index);
+
+  // Stats of the genesis seal performed by the kFresh constructor (all-zero
+  // without a store or when resuming).
+  const NodeStoreCommitStats& genesis_stats() const { return genesis_stats_; }
 
   size_t account_count() const { return entries_.size(); }
 
@@ -56,6 +86,13 @@ class IncrementalStateTrie {
 
   std::unordered_map<Address, AccountEntry> entries_;
   MerklePatriciaTrie account_trie_;
+
+  NodeStore* store_ = nullptr;  // Not owned; may be null (in-memory only).
+  NodeStoreCommitStats genesis_stats_;
+  // Accounts whose storage trie may hold unharvested nodes, accumulated by
+  // ApplyDiff since the last CommitBlock. The account trie needs no such set:
+  // its harvest starts at the root and skips clean subtrees.
+  std::unordered_set<Address> pending_storage_dirty_;
 };
 
 }  // namespace pevm

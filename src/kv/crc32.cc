@@ -1,0 +1,34 @@
+#include "src/kv/crc32.h"
+
+#include <array>
+
+namespace pevm {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected Castagnoli.
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32c(BytesView data, uint32_t seed) {
+  uint32_t crc = ~seed;
+  for (uint8_t b : data) {
+    crc = kTable[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace pevm

@@ -1,0 +1,145 @@
+#include "src/kv/record.h"
+
+#include "src/kv/crc32.h"
+
+namespace pevm {
+
+void AppendU32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+namespace {
+
+// Frames `payload` (already built at out.end() - payload_len) by patching the
+// 8-byte header reserved before it.
+void FinishFrame(Bytes& out, size_t header_at) {
+  size_t payload_len = out.size() - header_at - kRecordHeaderSize;
+  const uint8_t* payload = out.data() + header_at + kRecordHeaderSize;
+  uint32_t crc = MaskCrc(Crc32c(BytesView(payload, payload_len)));
+  for (int i = 0; i < 4; ++i) {
+    out[header_at + static_cast<size_t>(i)] = static_cast<uint8_t>(crc >> (8 * i));
+    out[header_at + 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(static_cast<uint32_t>(payload_len) >> (8 * i));
+  }
+}
+
+size_t ReserveHeader(Bytes& out) {
+  size_t at = out.size();
+  out.resize(at + kRecordHeaderSize);
+  return at;
+}
+
+}  // namespace
+
+void AppendPutRecord(Bytes& out, std::string_view key, BytesView value) {
+  size_t header_at = ReserveHeader(out);
+  out.push_back(static_cast<uint8_t>(RecordType::kPut));
+  AppendU32(out, static_cast<uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+  out.insert(out.end(), value.begin(), value.end());
+  FinishFrame(out, header_at);
+}
+
+void AppendDeleteRecord(Bytes& out, std::string_view key) {
+  size_t header_at = ReserveHeader(out);
+  out.push_back(static_cast<uint8_t>(RecordType::kDelete));
+  AppendU32(out, static_cast<uint32_t>(key.size()));
+  out.insert(out.end(), key.begin(), key.end());
+  FinishFrame(out, header_at);
+}
+
+void AppendCommitRecord(Bytes& out, uint64_t sequence) {
+  size_t header_at = ReserveHeader(out);
+  out.push_back(static_cast<uint8_t>(RecordType::kCommit));
+  AppendU64(out, sequence);
+  FinishFrame(out, header_at);
+}
+
+DecodeStatus DecodeRecord(BytesView buffer, size_t* offset, Record* record) {
+  size_t at = *offset;
+  if (at == buffer.size()) {
+    return DecodeStatus::kEndOfBuffer;
+  }
+  if (buffer.size() - at < kRecordHeaderSize) {
+    return DecodeStatus::kTorn;
+  }
+  uint32_t stored_crc = ReadU32(buffer.data() + at);
+  uint32_t payload_len = ReadU32(buffer.data() + at + 4);
+  if (buffer.size() - at - kRecordHeaderSize < payload_len) {
+    return DecodeStatus::kTorn;
+  }
+  const uint8_t* payload = buffer.data() + at + kRecordHeaderSize;
+  if (payload_len == 0 ||
+      MaskCrc(Crc32c(BytesView(payload, payload_len))) != stored_crc) {
+    return DecodeStatus::kCorrupt;
+  }
+  uint8_t type = payload[0];
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kPut: {
+      if (payload_len < 5) {
+        return DecodeStatus::kCorrupt;
+      }
+      uint32_t klen = ReadU32(payload + 1);
+      if (payload_len < 5 + static_cast<size_t>(klen)) {
+        return DecodeStatus::kCorrupt;
+      }
+      record->type = RecordType::kPut;
+      record->key = std::string_view(reinterpret_cast<const char*>(payload + 5), klen);
+      record->value = BytesView(payload + 5 + klen, payload_len - 5 - klen);
+      break;
+    }
+    case RecordType::kDelete: {
+      if (payload_len < 5) {
+        return DecodeStatus::kCorrupt;
+      }
+      uint32_t klen = ReadU32(payload + 1);
+      if (payload_len != 5 + static_cast<size_t>(klen)) {
+        return DecodeStatus::kCorrupt;
+      }
+      record->type = RecordType::kDelete;
+      record->key = std::string_view(reinterpret_cast<const char*>(payload + 5), klen);
+      record->value = {};
+      break;
+    }
+    case RecordType::kCommit: {
+      if (payload_len != 9) {
+        return DecodeStatus::kCorrupt;
+      }
+      record->type = RecordType::kCommit;
+      record->sequence = ReadU64(payload + 1);
+      record->key = {};
+      record->value = {};
+      break;
+    }
+    default:
+      return DecodeStatus::kCorrupt;
+  }
+  *offset = at + kRecordHeaderSize + payload_len;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace pevm

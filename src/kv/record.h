@@ -1,0 +1,108 @@
+// On-disk record framing for the embedded KV store's append-only segment
+// files, plus the WriteBatch the commit protocol is built on.
+//
+// Segment file layout:
+//
+//   [8-byte header: magic "PKVS" + u32 segment id (LE)]
+//   record*
+//
+// Record layout (everything little-endian):
+//
+//   [u32 masked crc32c(payload)] [u32 payload length] [payload]
+//
+// Payload layout by record type (first payload byte):
+//
+//   kPut:    [u8 type][u32 key length][key bytes][value bytes]
+//   kDelete: [u8 type][u32 key length][key bytes]
+//   kCommit: [u8 type][u64 sequence]
+//
+// Commit protocol: a WriteBatch is appended as its kPut/kDelete records
+// followed by one kCommit marker carrying the store's monotonically
+// increasing batch sequence. Recovery (kv_store.cc) buffers records and
+// applies them to the index only when it reaches a valid kCommit — a torn or
+// CRC-corrupt record, or a batch with no marker, means everything after the
+// last good marker is dropped and the file is truncated there. The marker is
+// therefore the atomicity boundary: a batch is either fully visible after
+// reopen or not at all.
+#ifndef SRC_KV_RECORD_H_
+#define SRC_KV_RECORD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/bytes.h"
+
+namespace pevm {
+
+inline constexpr uint32_t kSegmentMagic = 0x53564b50u;  // "PKVS" little-endian.
+inline constexpr size_t kSegmentHeaderSize = 8;
+inline constexpr size_t kRecordHeaderSize = 8;  // crc + length.
+
+enum class RecordType : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+  kCommit = 3,
+};
+
+// One decoded record. Key/value are views into the caller's scan buffer.
+struct Record {
+  RecordType type = RecordType::kPut;
+  std::string_view key;
+  BytesView value;
+  uint64_t sequence = 0;  // kCommit only.
+};
+
+// Little-endian integer helpers shared by the framing and the keyspace
+// encodings layered on top of the store.
+void AppendU32(Bytes& out, uint32_t v);
+void AppendU64(Bytes& out, uint64_t v);
+uint32_t ReadU32(const uint8_t* p);
+uint64_t ReadU64(const uint8_t* p);
+
+// Appends one framed record to `out`.
+void AppendPutRecord(Bytes& out, std::string_view key, BytesView value);
+void AppendDeleteRecord(Bytes& out, std::string_view key);
+void AppendCommitRecord(Bytes& out, uint64_t sequence);
+
+// Result of decoding one record at an offset in a segment buffer.
+enum class DecodeStatus {
+  kOk,
+  kEndOfBuffer,  // Clean end: offset == buffer size.
+  kTorn,         // Partial header/payload: the tail was cut mid-record.
+  kCorrupt,      // CRC mismatch or malformed payload.
+};
+
+// Decodes the record at `buffer[offset...]`; on kOk advances *offset past it
+// and fills *record (views point into `buffer`).
+DecodeStatus DecodeRecord(BytesView buffer, size_t* offset, Record* record);
+
+// An ordered set of mutations committed atomically (one commit marker, at
+// most one fsync). Later operations on the same key win, matching apply
+// order.
+class WriteBatch {
+ public:
+  void Put(std::string_view key, BytesView value) {
+    ops_.push_back({std::string(key), Bytes(value.begin(), value.end()), false});
+  }
+  void Delete(std::string_view key) { ops_.push_back({std::string(key), {}, true}); }
+  void Clear() { ops_.clear(); }
+  bool empty() const { return ops_.empty(); }
+  size_t size() const { return ops_.size(); }
+
+  struct Op {
+    std::string key;
+    Bytes value;
+    bool is_delete = false;
+  };
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_KV_RECORD_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/kv/kv_store.h"
+#include "src/state/kv_keys.h"
+
 namespace pevm {
 namespace {
 
@@ -37,6 +40,16 @@ void SimStore::BeginBlock() {
   }
 }
 
+// One real backing read: the committed flat-state record a cold miss would
+// fetch from disk on a real node. The value is discarded — SimStoreReader
+// still serves from the committed WorldState — so this is purely a wall-clock
+// cost, like the injected latencies it replaces (absent keys cost a real
+// index miss, which is also honest).
+void SimStore::BackingRead(const StateKey& key) {
+  config_.backing->Get(kvkeys::FlatStateKey(key));
+  backing_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+
 bool SimStore::Touch(const StateKey& key) {
   bool was_resident;
   {
@@ -49,7 +62,11 @@ bool SimStore::Touch(const StateKey& key) {
     InjectLatency(config_.warm_read_ns);
   } else {
     cold_touches_.fetch_add(1, std::memory_order_relaxed);
-    InjectLatency(config_.cold_read_ns);
+    if (config_.backing != nullptr) {
+      BackingRead(key);
+    } else {
+      InjectLatency(config_.cold_read_ns);
+    }
   }
   return was_resident;
 }
@@ -58,7 +75,13 @@ void SimStore::WarmBatch(std::span<const StateKey> keys) {
   if (keys.empty()) {
     return;
   }
-  InjectLatency(config_.batch_base_ns + config_.batch_key_ns * keys.size());
+  if (config_.backing != nullptr) {
+    for (const StateKey& key : keys) {
+      BackingRead(key);
+    }
+  } else {
+    InjectLatency(config_.batch_base_ns + config_.batch_key_ns * keys.size());
+  }
   for (const StateKey& key : keys) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -84,7 +107,10 @@ std::vector<StateKey> SimStore::PredictSet(const PrefetchRequest& request) const
     std::lock_guard<std::mutex> lock(hints_mu_);
     auto it = hints_.find(HintKey{request.to, request.selector});
     if (it != hints_.end()) {
-      keys.insert(keys.end(), it->second.begin(), it->second.end());
+      // Deliberately no LRU bump: PredictSet runs on concurrent prefetch
+      // drivers, so letting it touch recency would make eviction order — and
+      // through it the deterministic prefetch counters — timing-dependent.
+      keys.insert(keys.end(), it->second.keys.begin(), it->second.keys.end());
     }
   }
   return keys;
@@ -95,7 +121,22 @@ void SimStore::RecordObserved(const PrefetchRequest& request, const ReadSet& rea
     return;
   }
   std::lock_guard<std::mutex> lock(hints_mu_);
-  std::vector<StateKey>& bucket = hints_[HintKey{request.to, request.selector}];
+  HintKey hint_key{request.to, request.selector};
+  auto [it, inserted] = hints_.try_emplace(hint_key);
+  if (inserted) {
+    hint_lru_.push_front(hint_key);
+    it->second.lru_it = hint_lru_.begin();
+    if (config_.max_hint_entries > 0 && hints_.size() > config_.max_hint_entries) {
+      // Evict the bucket observed longest ago. Rotating hot contracts thus
+      // sheds cold hints; a still-hot bucket was re-observed recently and
+      // survives.
+      hints_.erase(hint_lru_.back());
+      hint_lru_.pop_back();
+    }
+  } else {
+    hint_lru_.splice(hint_lru_.begin(), hint_lru_, it->second.lru_it);
+  }
+  std::vector<StateKey>& bucket = it->second.keys;
   for (const auto& [key, value] : reads) {
     if (key.kind != StateKeyKind::kStorage) {
       continue;  // Envelope keys are statically predicted; hints learn slots.

@@ -23,6 +23,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -35,6 +36,8 @@
 #include "src/state/world_state.h"
 
 namespace pevm {
+
+class KvStore;  // src/kv/kv_store.h; held by pointer only.
 
 struct SimStoreConfig {
   // Wall-clock latency of a point read that misses the resident set (a
@@ -53,6 +56,23 @@ struct SimStoreConfig {
   int prefetch_workers = 2;
   size_t batch_size = 32;
   size_t max_hint_keys = 96;
+  // Global cap on (contract, selector) hint buckets, LRU-evicted by observed
+  // use: a long stream rotating through hot contracts sheds the cold ones
+  // instead of growing without bound. 0 = unbounded. Recency is bumped only
+  // by RecordObserved — the deterministic block-order pass — never by the
+  // concurrent PredictSet, so eviction order (and therefore every prefetch
+  // counter) is independent of OS thread timing.
+  size_t max_hint_entries = 4096;
+  // Real-I/O backing (the chain runner's embedded KV store): when set, cold
+  // reads and warm-up batches issue real KvStore::Get calls against the
+  // committed flat-state records instead of injecting the simulated cold /
+  // batch latencies, so a "cold read" pays an actual pread (plus page-cache /
+  // KV-cache effects) against the same file the committer writes. Values
+  // still come from the committed WorldState and residency bookkeeping is
+  // unchanged: like every latency knob this moves the wall clock only, and
+  // simulated-latency mode (backing == nullptr) remains the deterministic
+  // oracle. Not owned; must outlive the store.
+  KvStore* backing = nullptr;
 };
 
 // The statically predictable part of one transaction's access set: the
@@ -108,6 +128,20 @@ class SimStore {
   uint64_t warm_touches() const { return warm_touches_.load(std::memory_order_relaxed); }
   uint64_t warmed_keys() const { return warmed_keys_.load(std::memory_order_relaxed); }
   uint64_t warm_batches() const { return warm_batches_.load(std::memory_order_relaxed); }
+  uint64_t backing_reads() const { return backing_reads_.load(std::memory_order_relaxed); }
+
+  // Live (contract, selector) hint buckets (test introspection; bounded by
+  // max_hint_entries when that is non-zero).
+  size_t hint_entries() const {
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    return hints_.size();
+  }
+
+  // Whether (to, selector) currently has a hint bucket (test introspection).
+  bool HasHintBucket(const Address& to, uint32_t selector) const {
+    std::lock_guard<std::mutex> lock(hints_mu_);
+    return hints_.contains(HintKey{to, selector});
+  }
 
  private:
   struct Shard {
@@ -125,19 +159,29 @@ class SimStore {
     }
   };
 
+  // One hint bucket plus its position in the observed-recency list (most
+  // recent at the front; eviction pops the back).
+  struct HintBucket {
+    std::vector<StateKey> keys;
+    std::list<HintKey>::iterator lru_it;
+  };
+
   Shard& ShardFor(const StateKey& key) const;
+  void BackingRead(const StateKey& key);
 
   SimStoreConfig config_;
   static constexpr size_t kShards = 16;
   mutable std::array<Shard, kShards> shards_;
 
   mutable std::mutex hints_mu_;
-  std::unordered_map<HintKey, std::vector<StateKey>, HintKeyHash> hints_;
+  std::unordered_map<HintKey, HintBucket, HintKeyHash> hints_;
+  std::list<HintKey> hint_lru_;
 
   std::atomic<uint64_t> cold_touches_{0};
   std::atomic<uint64_t> warm_touches_{0};
   std::atomic<uint64_t> warmed_keys_{0};
   std::atomic<uint64_t> warm_batches_{0};
+  std::atomic<uint64_t> backing_reads_{0};
 };
 
 // Base-state reader that routes every committed read through the simulated

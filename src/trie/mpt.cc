@@ -68,6 +68,12 @@ struct MerklePatriciaTrie::Node {
   mutable Bytes ref_memo;
   mutable bool enc_valid = false;
   mutable bool ref_valid = false;
+
+  // Durability memo: true once HarvestDirtyNodes emitted (or skipped, for
+  // inlined nodes) this node since its last mutation. Cleared together with
+  // the encoding memo, so "persisted" implies the whole subtree is unchanged
+  // since the last harvest.
+  mutable bool persisted = false;
 };
 
 namespace {
@@ -82,6 +88,7 @@ void Dirty(Node* node) {
   node->ref_valid = false;
   node->enc_memo.clear();
   node->ref_memo.clear();
+  node->persisted = false;
 }
 
 std::unique_ptr<Node> MakeLeaf(BytesView nibbles, BytesView value) {
@@ -335,7 +342,49 @@ const Bytes& Encode(const Node* node) {
   return node->enc_memo;
 }
 
+// Post-order walk over the not-yet-persisted region. Children first so a
+// store that applies records in emission order always has a node's children
+// before the node referencing them (the write-batch is atomic anyway, but the
+// invariant costs nothing and mirrors how real node stores flush).
+size_t Harvest(const Node* node, bool is_root, const MerklePatriciaTrie::NodeSink* sink) {
+  if (node == nullptr || node->persisted) {
+    return 0;
+  }
+  size_t emitted = 0;
+  switch (node->type) {
+    case Type::kLeaf:
+      break;
+    case Type::kExtension:
+      emitted += Harvest(node->child.get(), /*is_root=*/false, sink);
+      break;
+    case Type::kBranch:
+      for (const auto& child : node->children) {
+        emitted += Harvest(child.get(), /*is_root=*/false, sink);
+      }
+      break;
+  }
+  const Bytes& enc = Encode(node);
+  // Nodes shorter than 32 bytes are inlined into their parent's encoding and
+  // never stored standalone; the root is always stored under its hash.
+  if (enc.size() >= 32 || is_root) {
+    if (sink != nullptr) {
+      (*sink)(Keccak256(enc), BytesView(enc.data(), enc.size()));
+    }
+    ++emitted;
+  }
+  node->persisted = true;
+  return emitted;
+}
+
 }  // namespace
+
+size_t MerklePatriciaTrie::HarvestDirtyNodes(const NodeSink& sink) const {
+  return Harvest(root_.get(), /*is_root=*/true, &sink);
+}
+
+void MerklePatriciaTrie::MarkAllPersisted() const {
+  Harvest(root_.get(), /*is_root=*/true, nullptr);
+}
 
 MerklePatriciaTrie::MerklePatriciaTrie() = default;
 MerklePatriciaTrie::~MerklePatriciaTrie() = default;

@@ -17,9 +17,17 @@
 // streaming execution. Memoization is invisible to results: roots stay
 // bit-identical to a from-scratch build (locked in by the MptPropertyTest
 // randomized battery).
+//
+// Durability hook (src/chain/node_store.h): every node additionally carries a
+// `persisted` flag, cleared whenever the node is dirtied. HarvestDirtyNodes
+// walks the not-yet-persisted region and emits each hash-referenced node's
+// (keccak(encoding), encoding) pair — exactly the records a persistent node
+// store (LevelDB-style) would write for the block, O(dirty spine) like the
+// re-rooting itself.
 #ifndef SRC_TRIE_MPT_H_
 #define SRC_TRIE_MPT_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -67,6 +75,22 @@ class MerklePatriciaTrie {
   Hash256 RootHash() const;
 
   size_t size() const { return size_; }
+
+  // Receives one dirty node: its reference hash and RLP encoding.
+  using NodeSink = std::function<void(const Hash256&, BytesView)>;
+
+  // Emits every node whose encoding changed since the last harvest (or ever,
+  // on a fresh trie) and marks the emitted region clean. Only hash-referenced
+  // nodes are emitted — nodes that RLP-encode to < 32 bytes are inlined into
+  // their parent on disk exactly as in the reference (the root is always
+  // emitted, matching Ethereum's hashed root). Returns the number of nodes
+  // emitted. Cost: O(dirty spine), the same asymptotics as RootHash.
+  size_t HarvestDirtyNodes(const NodeSink& sink) const;
+
+  // Marks the whole trie persisted without emitting anything: used when a
+  // trie is rebuilt from state that is already durable (chain resume), so the
+  // next harvest emits only post-resume mutations.
+  void MarkAllPersisted() const;
 
   struct Node;  // Exposed for the implementation file's free helpers.
 

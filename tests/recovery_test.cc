@@ -1,0 +1,381 @@
+// Durability battery for the KV-backed chain runner (src/chain + src/kv).
+//
+// The property under test (the issue's acceptance bar): after an unclean stop
+// at ANY byte — including a torn final record — reopening the store recovers
+// a (block count, state root) pair bit-identical to a from-scratch serial
+// replay of exactly that committed prefix, for every executor and OS thread
+// count; and a runner reopened on the directory resumes from that durable
+// head and produces the same roots the uninterrupted stream would have.
+//
+// Failure is simulated two ways: dropping the runner without draining
+// (Abort — an unclean stop at a block boundary) and truncating the tail
+// segment file at a random byte (a torn write). fsync cannot make a
+// difference under either (the process survives), which is exactly why the
+// tests can run it off for speed without weakening the recovery property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/chain/chain_runner.h"
+#include "src/chain/node_store.h"
+#include "src/kv/kv_store.h"
+#include "src/workload/block_gen.h"
+
+namespace pevm {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr ExecutorKind kAllExecutors[] = {
+    ExecutorKind::kSerial,   ExecutorKind::kTwoPhaseLocking, ExecutorKind::kOcc,
+    ExecutorKind::kBlockStm, ExecutorKind::kParallelEvm,
+};
+
+WorkloadConfig SmallConfig(uint64_t seed) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.transactions_per_block = 48;
+  config.users = 300;
+  config.tokens = 6;
+  config.pools = 3;
+  config.funds = 2;
+  return config;
+}
+
+struct Stream {
+  WorldState genesis;
+  std::vector<Block> blocks;
+  std::vector<Hash256> oracle_roots;  // Serial replay, from-scratch roots.
+};
+
+Stream MakeStream(uint64_t seed, int blocks) {
+  WorkloadGenerator gen(SmallConfig(seed));
+  Stream stream;
+  stream.genesis = gen.MakeGenesis();
+  WorldState state = stream.genesis;
+  std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
+  for (int b = 0; b < blocks; ++b) {
+    stream.blocks.push_back(gen.MakeBlock());
+    oracle->Execute(stream.blocks.back(), state);
+    stream.oracle_roots.push_back(state.StateRoot());
+  }
+  return stream;
+}
+
+// The root a prefix of `committed` blocks must recover to.
+Hash256 PrefixRoot(const Stream& stream, uint64_t committed) {
+  return committed == 0 ? stream.genesis.StateRoot()
+                        : stream.oracle_roots[static_cast<size_t>(committed) - 1];
+}
+
+class RecoveryDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("rec_" + std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Fsync off: these tests kill the process never, only the store, so sync
+  // cannot affect recovery and would only slow the battery down. The one
+  // fsync-on case lives in ChainPersistenceTest.FsyncAccounting.
+  ChainOptions KvChainOptions(const std::string& dir) {
+    ChainOptions options;
+    options.persist = PersistMode::kKv;
+    options.kv_dir = dir;
+    options.kv.fsync = false;
+    options.kv.background_compaction = false;  // Keep segment files inert for surgery.
+    options.kv.segment_bytes = 64u << 10;      // Force rotation so tails span segments.
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+using ChainPersistenceTest = RecoveryDirTest;
+using ChainResumeTest = RecoveryDirTest;
+using CrashRecoveryPropertyTest = RecoveryDirTest;
+
+// --- Tentpole wiring: durable roots across every executor and thread count.
+
+TEST_F(ChainPersistenceTest, KvRootsBitIdenticalAcrossExecutorsAndThreads) {
+  Stream stream = MakeStream(7100, 3);
+  for (ExecutorKind kind : kAllExecutors) {
+    for (int os_threads : {1, 4, 16}) {
+      SCOPED_TRACE(testing::Message()
+                   << ExecutorKindName(kind) << " os_threads=" << os_threads);
+      fs::path dir = dir_ / (std::string(ExecutorKindName(kind)) + "_" +
+                             std::to_string(os_threads));
+      ChainOptions options = KvChainOptions(dir.string());
+      options.executor = kind;
+      options.exec.os_threads = os_threads;
+      ChainRunner runner(options, stream.genesis);
+      for (const Block& block : stream.blocks) {
+        ASSERT_TRUE(runner.Submit(block));
+      }
+      ChainReport report = runner.Finish();
+      ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+      for (size_t b = 0; b < stream.oracle_roots.size(); ++b) {
+        ASSERT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b]))
+            << "block " << b;
+      }
+      // Every block carried durable freight.
+      ASSERT_EQ(report.durability.size(), stream.blocks.size());
+      for (const BlockDurability& d : report.durability) {
+        EXPECT_GT(d.bytes_appended, 0u);
+        EXPECT_GT(d.nodes_written, 0u);
+      }
+      EXPECT_GT(report.kv_bytes_appended, 0u);
+    }
+  }
+}
+
+// The in-memory NodeStore is the byte-accounting oracle: it mirrors the KV
+// framing arithmetic without I/O, so per-block bytes_appended must agree
+// exactly between the two persist modes.
+TEST_F(ChainPersistenceTest, InMemoryStoreMirrorsKvByteAccounting) {
+  Stream stream = MakeStream(7200, 4);
+  auto run = [&](PersistMode mode) {
+    ChainOptions options = KvChainOptions((dir_ / "kv").string());
+    options.persist = mode;
+    ChainRunner runner(options, stream.genesis);
+    for (const Block& block : stream.blocks) {
+      EXPECT_TRUE(runner.Submit(block));
+    }
+    return runner.Finish();
+  };
+  ChainReport mem = run(PersistMode::kInMemory);
+  ChainReport kv = run(PersistMode::kKv);
+  ASSERT_EQ(mem.durability.size(), kv.durability.size());
+  for (size_t b = 0; b < mem.durability.size(); ++b) {
+    EXPECT_EQ(mem.durability[b].bytes_appended, kv.durability[b].bytes_appended)
+        << "block " << b;
+    EXPECT_EQ(mem.durability[b].nodes_written, kv.durability[b].nodes_written) << "block " << b;
+    EXPECT_EQ(kv.durability[b].fsyncs, 0u);  // fsync off in this battery.
+  }
+  EXPECT_EQ(mem.kv_bytes_appended, kv.kv_bytes_appended);
+  EXPECT_EQ(mem.kv_fsyncs, 0u);
+}
+
+TEST_F(ChainPersistenceTest, FsyncAccounting) {
+  Stream stream = MakeStream(7300, 3);
+  ChainOptions options = KvChainOptions(dir_.string());
+  options.kv.fsync = true;
+  ChainRunner runner(options, stream.genesis);
+  for (const Block& block : stream.blocks) {
+    ASSERT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+  ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+  // Single committer thread: every block batch pays exactly one fsync, plus
+  // one for the genesis seal.
+  for (const BlockDurability& d : report.durability) {
+    EXPECT_EQ(d.fsyncs, 1u);
+    EXPECT_GE(d.persist_ns, d.sync_ns);
+  }
+  EXPECT_EQ(report.kv_fsyncs, stream.blocks.size() + 1);
+}
+
+// --- Resume: reopening a cleanly finished directory continues the stream.
+
+TEST_F(ChainResumeTest, ReopenResumesFromDurableHeadAndContinues) {
+  Stream stream = MakeStream(7400, 6);
+  ChainOptions options = KvChainOptions(dir_.string());
+  {
+    ChainRunner runner(options, stream.genesis);
+    for (size_t b = 0; b < 3; ++b) {
+      ASSERT_TRUE(runner.Submit(stream.blocks[b]));
+    }
+    ChainReport report = runner.Finish();
+    ASSERT_EQ(report.blocks_committed, 3u);
+    EXPECT_EQ(report.blocks_resumed, 0u);
+  }
+  {
+    // The genesis argument is ignored on resume; pass an empty state to prove
+    // the committed WorldState really comes from the store.
+    ChainRunner runner(options, WorldState{});
+    EXPECT_EQ(runner.recovered_blocks(), 3u);
+    for (size_t b = 3; b < stream.blocks.size(); ++b) {
+      ASSERT_TRUE(runner.Submit(stream.blocks[b]));
+    }
+    ChainReport report = runner.Finish();
+    EXPECT_EQ(report.blocks_resumed, 3u);
+    ASSERT_EQ(report.blocks_committed, 3u);  // This run's blocks only.
+    for (size_t b = 3; b < stream.oracle_roots.size(); ++b) {
+      EXPECT_EQ(HexEncode(report.roots[b - 3]), HexEncode(stream.oracle_roots[b]))
+          << "block " << b;
+    }
+  }
+  {
+    // Third open: the whole stream is durable now.
+    ChainRunner runner(options, WorldState{});
+    EXPECT_EQ(runner.recovered_blocks(), stream.blocks.size());
+    EXPECT_EQ(HexEncode(runner.state().StateRoot()), HexEncode(stream.oracle_roots.back()));
+    runner.Finish();
+  }
+}
+
+TEST_F(ChainResumeTest, AbortLeavesConsistentDurablePrefix) {
+  Stream stream = MakeStream(7500, 6);
+  ChainOptions options = KvChainOptions(dir_.string());
+  uint64_t committed = 0;
+  {
+    ChainRunner runner(options, stream.genesis);
+    for (const Block& block : stream.blocks) {
+      if (!runner.Submit(block)) {
+        break;
+      }
+    }
+    ChainReport report = runner.Abort();  // Unclean stop at a block boundary.
+    committed = report.blocks_committed;
+    EXPECT_LE(committed, stream.blocks.size());
+  }
+  std::string error;
+  std::unique_ptr<KvStore> store = KvStore::Open(dir_.string(), KvOptions{.fsync = false}, &error);
+  ASSERT_NE(store, nullptr) << error;
+  std::optional<RecoveredChain> recovered = RecoverChain(*store);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->blocks_committed, committed);
+  EXPECT_EQ(HexEncode(recovered->root), HexEncode(PrefixRoot(stream, committed)));
+  // The flat mirror and the manifest agree (this is the cross-check a
+  // resuming ChainRunner performs before accepting the store).
+  EXPECT_EQ(HexEncode(recovered->state.StateRoot()), HexEncode(recovered->root));
+}
+
+// --- The property test: truncate the tail segment at a random byte.
+
+TEST_F(CrashRecoveryPropertyTest, RandomTailTruncationRecoversExactCommittedPrefix) {
+  const int kBlocks = 5;
+  for (uint64_t seed : {41u, 42u, 43u}) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    Stream stream = MakeStream(seed, kBlocks);
+    fs::path pristine = dir_ / ("pristine_" + std::to_string(seed));
+    ChainOptions options = KvChainOptions(pristine.string());
+    {
+      ChainRunner runner(options, stream.genesis);
+      for (const Block& block : stream.blocks) {
+        ASSERT_TRUE(runner.Submit(block));
+      }
+      ChainReport report = runner.Finish();
+      ASSERT_EQ(report.blocks_committed, static_cast<uint64_t>(kBlocks));
+    }
+
+    std::mt19937_64 rng(seed * 1000003);
+    for (int trial = 0; trial < 8; ++trial) {
+      SCOPED_TRACE(testing::Message() << "trial=" << trial);
+      fs::path work = dir_ / ("work_" + std::to_string(seed));
+      fs::remove_all(work);
+      fs::copy(pristine, work, fs::copy_options::recursive);
+
+      // Tail segment = highest-numbered file (names are zero-padded ids).
+      std::vector<fs::path> segments;
+      for (const auto& entry : fs::directory_iterator(work)) {
+        if (entry.path().extension() == ".seg") {
+          segments.push_back(entry.path());
+        }
+      }
+      ASSERT_FALSE(segments.empty());
+      std::sort(segments.begin(), segments.end());
+      const fs::path& tail = segments.back();
+      const uint64_t size = fs::file_size(tail);
+      const uint64_t cut = rng() % size;  // Anywhere, header bytes included.
+      fs::resize_file(tail, cut);
+
+      std::string error;
+      std::unique_ptr<KvStore> store = KvStore::Open(
+          work.string(), KvOptions{.fsync = false, .background_compaction = false}, &error);
+      ASSERT_NE(store, nullptr) << error;
+      std::optional<RecoveredChain> recovered = RecoverChain(*store);
+      uint64_t committed = 0;
+      if (!recovered.has_value()) {
+        // Only legal when the cut tore the genesis batch itself, which can
+        // only happen while it is still in the first (single) segment.
+        EXPECT_EQ(segments.size(), 1u);
+      } else {
+        committed = recovered->blocks_committed;
+        EXPECT_LE(committed, static_cast<uint64_t>(kBlocks));
+        EXPECT_EQ(HexEncode(recovered->root), HexEncode(PrefixRoot(stream, committed)))
+            << "committed=" << committed;
+        EXPECT_EQ(HexEncode(recovered->state.StateRoot()), HexEncode(recovered->root));
+        ASSERT_EQ(recovered->roots.size(), committed);
+        for (uint64_t b = 0; b < committed; ++b) {
+          EXPECT_EQ(HexEncode(recovered->roots[b]), HexEncode(stream.oracle_roots[b]));
+        }
+      }
+      store.reset();
+
+      // Strongest form, once per seed: resume a runner on the wounded store
+      // and replay the rest of the stream; every root must land exactly where
+      // the uninterrupted run's did.
+      if (trial == 0) {
+        ChainOptions resume = KvChainOptions(work.string());
+        ChainRunner runner(resume, stream.genesis);
+        ASSERT_EQ(runner.recovered_blocks(), committed);
+        for (size_t b = committed; b < stream.blocks.size(); ++b) {
+          ASSERT_TRUE(runner.Submit(stream.blocks[b]));
+        }
+        ChainReport report = runner.Finish();
+        ASSERT_EQ(report.blocks_committed, stream.blocks.size() - committed);
+        for (size_t b = committed; b < stream.oracle_roots.size(); ++b) {
+          EXPECT_EQ(HexEncode(report.roots[b - committed]),
+                    HexEncode(stream.oracle_roots[b]))
+              << "block " << b;
+        }
+      }
+      fs::remove_all(work);
+    }
+  }
+}
+
+// --- SimStore KV backing: real file reads, unchanged results.
+
+TEST_F(ChainPersistenceTest, KvBackedSimStoreKeepsRootsAndCountersBitIdentical) {
+  Stream stream = MakeStream(7600, 4);
+  auto run = [&](bool kv_backed) {
+    ChainOptions options;
+    options.exec.prefetch_depth = 8;
+    options.exec.os_threads = 4;
+    if (kv_backed) {
+      ChainOptions kv = KvChainOptions((dir_ / "backed").string());
+      options.persist = kv.persist;
+      options.kv_dir = kv.kv_dir;
+      options.kv = kv.kv;
+      options.kv_backed_sim_store = true;
+    }
+    ChainRunner runner(options, stream.genesis);
+    for (const Block& block : stream.blocks) {
+      EXPECT_TRUE(runner.Submit(block));
+    }
+    uint64_t kv_reads = 0;
+    if (kv_backed) {
+      ChainReport report = runner.Finish();
+      kv_reads = runner.kv_store()->stats().reads;
+      EXPECT_GT(kv_reads, 100u);  // Cold reads + warm-ups really hit the file.
+      return report;
+    }
+    return runner.Finish();
+  };
+  ChainReport simulated = run(false);
+  ChainReport backed = run(true);
+  ASSERT_EQ(simulated.blocks_committed, backed.blocks_committed);
+  for (size_t b = 0; b < simulated.roots.size(); ++b) {
+    EXPECT_EQ(HexEncode(simulated.roots[b]), HexEncode(backed.roots[b])) << "block " << b;
+  }
+  ASSERT_EQ(simulated.block_reports.size(), backed.block_reports.size());
+  for (size_t b = 0; b < simulated.block_reports.size(); ++b) {
+    const BlockReport& s = simulated.block_reports[b];
+    const BlockReport& k = backed.block_reports[b];
+    EXPECT_EQ(s.prefetch_hits, k.prefetch_hits) << "block " << b;
+    EXPECT_EQ(s.prefetch_misses, k.prefetch_misses) << "block " << b;
+    EXPECT_EQ(s.prefetch_wasted, k.prefetch_wasted) << "block " << b;
+    EXPECT_EQ(s.makespan_ns, k.makespan_ns) << "block " << b;
+  }
+}
+
+}  // namespace
+}  // namespace pevm
