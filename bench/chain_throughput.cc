@@ -16,9 +16,11 @@
 // every block batch without fsync, and with one fdatasync per block — the
 // write-amplification and commit-wall cost of crash safety.
 //
-// Usage: chain_throughput [--smoke]   (--smoke: CI-sized stream, same JSON)
+// Usage: chain_throughput [--smoke] [--trace=<file>] [--metrics=<file>]
+//   --smoke: CI-sized stream, same JSON. --trace: Chrome trace_event JSON of
+//   the whole run (warm/exec/commit stages, per-tx executor spans, prefetch
+//   batches, KV fsyncs on their real threads). --metrics: registry snapshot.
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -28,15 +30,11 @@
 
 int main(int argc, char** argv) {
   using namespace pevm;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s (supported: --smoke)\n", argv[i]);
-      return 2;
-    }
+  BenchFlags flags;
+  if (!ParseBenchFlags(argc, argv, flags)) {
+    return 2;
   }
+  const bool smoke = flags.smoke;
 
   WorkloadConfig config;
   config.seed = 920'000;
@@ -176,10 +174,9 @@ int main(int argc, char** argv) {
     row.blocks_per_sec = report.blocks_per_sec();
     row.wall_ms = report.wall_ns / 1e6;
     row.warm_busy = report.warm.busy_fraction();
-    for (const BlockReport& block_report : report.block_reports) {
-      row.hits += block_report.prefetch_hits;
-      row.misses += block_report.prefetch_misses;
-    }
+    BlockReport totals = AggregateBlockReports(report.block_reports);
+    row.hits = totals.prefetch_hits;
+    row.misses = totals.prefetch_misses;
     warm_rows.push_back(row);
     std::printf("%-15d %-11.2f %-9.1f %-10.3f %-10llu %llu\n", row.depth, row.blocks_per_sec,
                 row.wall_ms, row.warm_busy, static_cast<unsigned long long>(row.hits),
@@ -264,73 +261,81 @@ int main(int argc, char** argv) {
   }
   std::filesystem::remove_all(kv_root);
 
-  FILE* kv_json = std::fopen("BENCH_kv.json", "w");
-  if (kv_json != nullptr) {
-    std::fprintf(kv_json,
-                 "{\n  \"bench\": \"chain_throughput_persistence\",\n"
-                 "  \"executor\": \"parallelevm\",\n  \"smoke\": %s,\n  \"blocks\": %d,\n"
-                 "  \"transactions_per_block\": %d,\n  \"results\": [\n",
-                 smoke ? "true" : "false", n_blocks, config.transactions_per_block);
-    for (size_t i = 0; i < kv_rows.size(); ++i) {
-      const KvRow& r = kv_rows[i];
-      std::fprintf(kv_json,
-                   "    {\"store\": \"%s\", \"fsync\": %s, \"blocks_per_sec\": %.3f, "
-                   "\"wall_ms\": %.3f, \"commit_busy_frac\": %.4f, \"bytes_appended\": %llu, "
-                   "\"fsyncs\": %llu, \"nodes_written\": %llu, \"apply_ms\": %.3f, "
-                   "\"persist_ms\": %.3f, \"sync_ms\": %.3f}%s\n",
-                   r.store, r.fsync ? "true" : "false", r.blocks_per_sec, r.wall_ms,
-                   r.commit_busy, static_cast<unsigned long long>(r.bytes_appended),
-                   static_cast<unsigned long long>(r.fsyncs),
-                   static_cast<unsigned long long>(r.nodes), r.apply_ms, r.persist_ms,
-                   r.sync_ms, i + 1 < kv_rows.size() ? "," : "");
+  std::printf("\n");
+  WriteBenchJson("BENCH_kv.json", [&](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("bench", "chain_throughput_persistence");
+    w.Field("executor", "parallelevm");
+    w.Field("smoke", smoke);
+    w.Field("blocks", n_blocks);
+    w.Field("transactions_per_block", config.transactions_per_block);
+    w.BeginArray("results");
+    for (const KvRow& r : kv_rows) {
+      w.BeginObject();
+      w.Field("store", r.store);
+      w.Field("fsync", r.fsync);
+      w.Field("blocks_per_sec", r.blocks_per_sec, 3);
+      w.Field("wall_ms", r.wall_ms, 3);
+      w.Field("commit_busy_frac", r.commit_busy);
+      w.Field("bytes_appended", r.bytes_appended);
+      w.Field("fsyncs", r.fsyncs);
+      w.Field("nodes_written", r.nodes);
+      w.Field("apply_ms", r.apply_ms, 3);
+      w.Field("persist_ms", r.persist_ms, 3);
+      w.Field("sync_ms", r.sync_ms, 3);
+      w.EndObject();
     }
-    std::fprintf(kv_json, "  ],\n  \"final_root\": \"%s\"\n}\n", oracle_root.c_str());
-    std::fclose(kv_json);
-    std::printf("\nwrote BENCH_kv.json\n");
-  }
+    w.EndArray();
+    w.Field("final_root", oracle_root);
+    w.EndObject();
+  });
 
-  FILE* json = std::fopen("BENCH_chain.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"bench\": \"chain_throughput\",\n  \"executor\": \"parallelevm\",\n"
-                 "  \"smoke\": %s,\n  \"blocks\": %d,\n  \"transactions_per_block\": %d,\n"
-                 "  \"cold_read_ns\": 200000,\n  \"results\": [\n",
-                 smoke ? "true" : "false", n_blocks, config.transactions_per_block);
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(json,
-                   "    {\"os_threads\": %d, \"overlap_commit\": %s, \"blocks_per_sec\": %.3f, "
-                   "\"wall_ms\": %.3f, \"warm_busy_frac\": %.4f, \"exec_busy_frac\": %.4f, "
-                   "\"commit_busy_frac\": %.4f, \"max_exec_queue\": %zu, "
-                   "\"max_commit_queue\": %zu}%s\n",
-                   r.os_threads, r.overlap ? "true" : "false", r.blocks_per_sec, r.wall_ms,
-                   r.warm_busy, r.exec_busy, r.commit_busy, r.max_exec_queue,
-                   r.max_commit_queue, i + 1 < rows.size() ? "," : "");
+  WriteBenchJson("BENCH_chain.json", [&](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("bench", "chain_throughput");
+    w.Field("executor", "parallelevm");
+    w.Field("smoke", smoke);
+    w.Field("blocks", n_blocks);
+    w.Field("transactions_per_block", config.transactions_per_block);
+    w.Field("cold_read_ns", 200000);
+    w.BeginArray("results");
+    for (const Row& r : rows) {
+      w.BeginObject();
+      w.Field("os_threads", r.os_threads);
+      w.Field("overlap_commit", r.overlap);
+      w.Field("blocks_per_sec", r.blocks_per_sec, 3);
+      w.Field("wall_ms", r.wall_ms, 3);
+      w.Field("warm_busy_frac", r.warm_busy);
+      w.Field("exec_busy_frac", r.exec_busy);
+      w.Field("commit_busy_frac", r.commit_busy);
+      w.Field("max_exec_queue", r.max_exec_queue);
+      w.Field("max_commit_queue", r.max_commit_queue);
+      w.EndObject();
     }
-    std::fprintf(json, "  ],\n  \"overlap_speedup\": {");
-    bool first = true;
+    w.EndArray();
+    w.BeginObject("overlap_speedup");
     for (size_t i = 0; i + 1 < rows.size(); i += 2) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "%d", rows[i].os_threads);
       double serial = rows[i].blocks_per_sec;
-      double overlapped = rows[i + 1].blocks_per_sec;
-      std::fprintf(json, "%s\"%d\": %.3f", first ? "" : ", ", rows[i].os_threads,
-                   serial > 0.0 ? overlapped / serial : 0.0);
-      first = false;
+      w.Field(key, serial > 0.0 ? rows[i + 1].blocks_per_sec / serial : 0.0, 3);
     }
-    std::fprintf(json, "},\n  \"prefetch_sweep\": [\n");
-    for (size_t i = 0; i < warm_rows.size(); ++i) {
-      const WarmRow& r = warm_rows[i];
-      std::fprintf(json,
-                   "    {\"prefetch_depth\": %d, \"blocks_per_sec\": %.3f, \"wall_ms\": %.3f, "
-                   "\"warm_busy_frac\": %.4f, \"prefetch_hits\": %llu, "
-                   "\"prefetch_misses\": %llu}%s\n",
-                   r.depth, r.blocks_per_sec, r.wall_ms, r.warm_busy,
-                   static_cast<unsigned long long>(r.hits),
-                   static_cast<unsigned long long>(r.misses),
-                   i + 1 < warm_rows.size() ? "," : "");
+    w.EndObject();
+    w.BeginArray("prefetch_sweep");
+    for (const WarmRow& r : warm_rows) {
+      w.BeginObject();
+      w.Field("prefetch_depth", r.depth);
+      w.Field("blocks_per_sec", r.blocks_per_sec, 3);
+      w.Field("wall_ms", r.wall_ms, 3);
+      w.Field("warm_busy_frac", r.warm_busy);
+      w.Field("prefetch_hits", r.hits);
+      w.Field("prefetch_misses", r.misses);
+      w.EndObject();
     }
-    std::fprintf(json, "  ],\n  \"final_root\": \"%s\"\n}\n", oracle_root.c_str());
-    std::fclose(json);
-    std::printf("\nwrote BENCH_chain.json\n");
-  }
-  return 0;
+    w.EndArray();
+    w.Field("final_root", oracle_root);
+    w.EndObject();
+  });
+
+  return WriteTelemetryArtifacts(flags) ? 0 : 1;
 }

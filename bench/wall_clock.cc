@@ -6,19 +6,25 @@
 // column is printed alongside to show it does not move — results are
 // bit-identical at every OS-thread count (the determinism test enforces it;
 // this bench re-checks the state digest).
+//
+// Usage: wall_clock [--smoke] [--trace=<file>] [--metrics=<file>]
 #include <cstdio>
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pevm;
+  BenchFlags flags;
+  if (!ParseBenchFlags(argc, argv, flags)) {
+    return 2;
+  }
   WorkloadConfig config;
   config.seed = 910000;
-  config.transactions_per_block = 400;
-  config.users = 2400;
+  config.transactions_per_block = flags.smoke ? 100 : 400;
+  config.users = flags.smoke ? 600 : 2400;
   WorkloadGenerator gen(config);
   WorldState genesis = gen.MakeGenesis();
-  std::vector<Block> blocks = MakeBlocks(gen, 6);
+  std::vector<Block> blocks = MakeBlocks(gen, flags.smoke ? 2 : 6);
 
   std::printf("Wall-clock read phase: ParallelEVM on a real OS-thread pool\n");
   std::printf("(%d-tx blocks x %zu; virtual makespan must not move)\n\n",
@@ -131,34 +137,37 @@ int main() {
   }
 
   // Machine-readable trajectory point for the growth driver.
-  FILE* json = std::fopen("BENCH_prefetch.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"bench\": \"prefetch\",\n  \"workload\": "
-                 "\"table2_latency\",\n  \"transactions_per_block\": %d,\n  \"blocks\": %zu,\n"
-                 "  \"cold_read_ns\": 25000,\n  \"warm_read_ns\": 500,\n  \"results\": [\n",
-                 config.transactions_per_block, blocks.size());
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      const DepthResult& r = sweep[i];
+  std::printf("\n");
+  WriteBenchJson("BENCH_prefetch.json", [&](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("bench", "prefetch");
+    w.Field("workload", "table2_latency");
+    w.Field("transactions_per_block", config.transactions_per_block);
+    w.Field("blocks", blocks.size());
+    w.Field("cold_read_ns", 25000);
+    w.Field("warm_read_ns", 500);
+    w.BeginArray("results");
+    for (const DepthResult& r : sweep) {
       double hit_rate = (r.hits + r.misses) == 0
                             ? 0.0
                             : static_cast<double>(r.hits) / static_cast<double>(r.hits + r.misses);
-      std::fprintf(
-          json,
-          "    {\"prefetch_depth\": %d, \"read_wall_ms\": %.3f, \"prefetch_wall_ms\": %.3f, "
-          "\"prefetch_hits\": %llu, \"prefetch_misses\": %llu, \"prefetch_wasted\": %llu, "
-          "\"hit_rate\": %.4f, \"read_speedup_vs_depth0\": %.3f}%s\n",
-          r.depth, r.read_wall_ns / 1e6, r.prefetch_wall_ns / 1e6,
-          static_cast<unsigned long long>(r.hits), static_cast<unsigned long long>(r.misses),
-          static_cast<unsigned long long>(r.wasted), hit_rate,
-          r.read_wall_ns == 0
-              ? 0.0
-              : static_cast<double>(depth0_read_wall) / static_cast<double>(r.read_wall_ns),
-          i + 1 < sweep.size() ? "," : "");
+      w.BeginObject();
+      w.Field("prefetch_depth", r.depth);
+      w.Field("read_wall_ms", r.read_wall_ns / 1e6, 3);
+      w.Field("prefetch_wall_ms", r.prefetch_wall_ns / 1e6, 3);
+      w.Field("prefetch_hits", r.hits);
+      w.Field("prefetch_misses", r.misses);
+      w.Field("prefetch_wasted", r.wasted);
+      w.Field("hit_rate", hit_rate);
+      w.Field("read_speedup_vs_depth0", r.read_wall_ns == 0
+                                            ? 0.0
+                                            : static_cast<double>(depth0_read_wall) /
+                                                  static_cast<double>(r.read_wall_ns),
+              3);
+      w.EndObject();
     }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_prefetch.json\n");
-  }
-  return 0;
+    w.EndArray();
+    w.EndObject();
+  });
+  return WriteTelemetryArtifacts(flags) ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include "src/exec/apply.h"
 #include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 namespace {
@@ -404,18 +405,34 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
   // with the scheduler: committing transaction j waits only for j's own
   // final execution (and the preceding commits), not the whole DES.
   WallTimer commit_timer;
+  PEVM_TRACE_SPAN_ARG("exec.commit_loop", "txs", n);
   uint64_t t = 0;
   U256 fees;
+  // Hot-key attribution covers the commit sweep's value validation only; the
+  // scheduler's version-based aborts above live in multi-version memory and
+  // are counted in report.conflicts, not per key.
+  ConflictAttribution attribution;
+  std::unordered_set<StateKey, StateKeyHash> stale;  // Dedup: reads may repeat keys.
   for (int j = 0; j < n; ++j) {
     TxState& tx_state = txs[static_cast<size_t>(j)];
     bool consistent = tx_state.status == TxStatus::kExecuted;
     t = std::max(t, tx_state.exec_finish);
     t += cost.ValidationCost(tx_state.reads.size());  // Final in-order check.
     if (consistent) {
+      // Full scan (no break on the first mismatch) so every stale key is
+      // attributed; the virtual cost already charges the whole read set and
+      // state.Get has no side effects, so this cannot perturb the oracle.
+      stale.clear();
       for (const ReadRecord& r : tx_state.reads) {
         if (state.Get(r.key) != r.value) {
-          consistent = false;
-          break;
+          stale.insert(r.key);
+        }
+      }
+      consistent = stale.empty();
+      if (!consistent) {
+        PEVM_TRACE_INSTANT_ARG("exec.conflict", "tx", j);
+        for (const StateKey& key : stale) {
+          attribution.Record(key, ConflictOutcome::kFallback);
         }
       }
     }
@@ -428,6 +445,7 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     t += CommitResult(std::move(tx_state.receipt), std::move(tx_state.writes), state, cost,
                       fees, report);
   }
+  report.conflict_keys = attribution.Sorted();
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;

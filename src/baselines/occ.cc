@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/exec/pipeline.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 
@@ -22,14 +23,17 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
 
   // Validate-and-commit loop.
   WallTimer commit_timer;
+  PEVM_TRACE_SPAN_ARG("exec.commit_loop", "txs", n);
   uint64_t t = 0;
   U256 fees;
+  ConflictAttribution attribution;
   for (size_t i = 0; i < n; ++i) {
     Speculation& spec = read.specs[i];
     t = std::max(t, schedule.finish[i]);
     t += cost.ValidationCost(spec.reads.size());
 
-    if (FindConflicts(spec.reads, state).empty()) {
+    ConflictMap conflicts = FindConflicts(spec.reads, state);
+    if (conflicts.empty()) {
       t += CommitSpeculation(spec, state, cost, fees, report);
       continue;
     }
@@ -37,9 +41,12 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
     // Abort-and-restart: the entire transaction re-executes on the commit
     // path (transaction-level conflict resolution).
     ++report.conflicts;
+    PEVM_TRACE_INSTANT_ARG("exec.conflict", "tx", i);
+    RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
     ++report.full_reexecutions;
     t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
+  report.conflict_keys = attribution.Sorted();
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;

@@ -9,6 +9,8 @@
 #include "src/baselines/serial.h"
 #include "src/baselines/two_phase_locking.h"
 #include "src/core/parallel_evm.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 
@@ -154,16 +156,21 @@ ChainReport ChainRunner::Abort() {
 }
 
 void ChainRunner::WarmLoop() {
+  PEVM_TRACE_THREAD_NAME("chain-warm");
   WallTimer stage;
   while (std::optional<Block> block = input_->Pop()) {
     WallTimer busy;
-    if (store_ && options_.exec.prefetch_depth > 0 && !block->transactions.empty()) {
-      // Whole-block warm-up: depth >= request count means the driver never
-      // waits for NotifyStarted, so Drain (join-without-abort) is safe.
-      std::vector<PrefetchRequest> requests = BuildPrefetchRequests(*block);
-      PrefetchEngine engine(*store_, std::move(requests),
-                            static_cast<int>(block->transactions.size()));
-      engine.Drain();
+    PEVM_TRACE_COUNTER("chain.input_queue", input_->depth());
+    {
+      PEVM_TRACE_SPAN_ARG("chain.warm", "block", warm_stats_.blocks);
+      if (store_ && options_.exec.prefetch_depth > 0 && !block->transactions.empty()) {
+        // Whole-block warm-up: depth >= request count means the driver never
+        // waits for NotifyStarted, so Drain (join-without-abort) is safe.
+        std::vector<PrefetchRequest> requests = BuildPrefetchRequests(*block);
+        PrefetchEngine engine(*store_, std::move(requests),
+                              static_cast<int>(block->transactions.size()));
+        engine.Drain();
+      }
     }
     warm_stats_.busy_ns += busy.ElapsedNs();
     ++warm_stats_.blocks;
@@ -176,13 +183,22 @@ void ChainRunner::WarmLoop() {
 }
 
 void ChainRunner::ExecLoop() {
+  PEVM_TRACE_THREAD_NAME("chain-exec");
+  static auto& exec_hist = telemetry::GetHistogram("chain.exec_block_ns");
   WallTimer stage;
   while (std::optional<Block> block = ready_->Pop()) {
     WallTimer busy;
-    state_.BeginDiff();
-    BlockReport report = executor_->Execute(*block, state_);
+    PEVM_TRACE_COUNTER("chain.ready_queue", ready_->depth());
+    BlockReport report;
+    {
+      PEVM_TRACE_SPAN_ARG("chain.exec", "block", exec_stats_.blocks);
+      state_.BeginDiff();
+      report = executor_->Execute(*block, state_);
+    }
     StateDiff diff = state_.TakeDiff();
-    exec_stats_.busy_ns += busy.ElapsedNs();
+    uint64_t busy_ns = busy.ElapsedNs();
+    exec_stats_.busy_ns += busy_ns;
+    exec_hist.Observe(busy_ns);
     ++exec_stats_.blocks;
     block_reports_.push_back(std::move(report));
     if (options_.overlap_commit) {
@@ -201,15 +217,19 @@ void ChainRunner::ExecLoop() {
 }
 
 void ChainRunner::CommitLoop() {
+  PEVM_TRACE_THREAD_NAME("chain-commit");
   WallTimer stage;
   while (std::optional<StateDiff> diff = diffs_->Pop()) {
+    PEVM_TRACE_COUNTER("chain.diff_queue", diffs_->depth());
     CommitOne(*diff);
   }
   commit_stats_.wall_ns = stage.ElapsedNs();
 }
 
 void ChainRunner::CommitOne(const StateDiff& diff) {
+  static auto& commit_hist = telemetry::GetHistogram("chain.commit_block_ns");
   WallTimer busy;
+  PEVM_TRACE_SPAN_ARG("chain.commit", "block", commit_stats_.blocks);
   trie_->ApplyDiff(diff);
   Hash256 root = trie_->Root();
   BlockDurability durability;
@@ -227,7 +247,9 @@ void ChainRunner::CommitOne(const StateDiff& diff) {
   }
   roots_.push_back(root);
   durability_.push_back(durability);
-  commit_stats_.busy_ns += busy.ElapsedNs();
+  uint64_t busy_ns = busy.ElapsedNs();
+  commit_stats_.busy_ns += busy_ns;
+  commit_hist.Observe(busy_ns);
   ++commit_stats_.blocks;
 }
 

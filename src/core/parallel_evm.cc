@@ -5,6 +5,7 @@
 
 #include "src/core/redo.h"
 #include "src/exec/pipeline.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 
@@ -27,8 +28,10 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
 
   // --- Commit loop: validate -> redo -> write, in block order. ---
   WallTimer commit_timer;
+  PEVM_TRACE_SPAN_ARG("exec.commit_loop", "txs", n);
   uint64_t t = 0;
   U256 fees;
+  ConflictAttribution attribution;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
     Speculation& spec = read.specs[i];
@@ -42,8 +45,11 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
     }
 
     ++report.conflicts;
+    PEVM_TRACE_INSTANT_ARG("exec.conflict", "tx", i);
     RedoResult redo = RunRedo(spec.log, conflicts, committed);
     if (redo.success) {
+      RecordConflicts(conflicts, ConflictOutcome::kRedoResolved, attribution);
+      PEVM_TRACE_SPAN_ARG("exec.redo_commit", "tx", i);
       t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
       continue;
     }
@@ -51,6 +57,7 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
     // Write-phase fallback: abort and re-execute serially against the
     // committed state (cannot conflict again). The failed redo attempt's
     // DFS and partial re-execution still cost time on the commit path.
+    RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
     if (spec.log.redoable) {
       ++report.redo_fail;
       t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
@@ -58,6 +65,7 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
     ++report.full_reexecutions;
     t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
+  report.conflict_keys = attribution.Sorted();
 
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options_.cost.per_block_ns;

@@ -39,6 +39,7 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
   WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
+  ConflictAttribution attribution;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
     Speculation& spec = read.specs[i];
@@ -60,10 +61,12 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
       for (const auto& [key, value] : conflicts) {
         plan.conflict_keys.push_back(key);
       }
+      RecordConflicts(conflicts, ConflictOutcome::kRedoResolved, attribution);
       t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
       continue;
     }
     plan.plan = TxSchedule::Plan::kFallback;
+    RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
     if (spec.log.redoable) {
       ++report.redo_fail;
       // The proposer pays for the failed redo attempt exactly like the plain
@@ -73,6 +76,7 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
     ++report.full_reexecutions;
     t += FullReexecute(block, i, state, cache, cost, store, fees, report);
   }
+  report.conflict_keys = attribution.Sorted();
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options.cost.per_block_ns;
   report.commit_wall_ns = commit_timer.ElapsedNs();
@@ -115,6 +119,7 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
   WallTimer commit_timer;
   uint64_t t = 0;
   U256 fees;
+  ConflictAttribution attribution;
   auto committed = [&state](const StateKey& key) { return state.Get(key); };
   for (size_t i = 0; i < n; ++i) {
     TxSchedule::Plan plan = PlanFor(schedule, i);
@@ -124,8 +129,12 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
     if (paranoid && plan != TxSchedule::Plan::kFallback) {
       // Verify the schedule's claim instead of trusting it.
       bool claim_clean = plan == TxSchedule::Plan::kClean;
-      if (claim_clean != FindConflicts(spec.reads, state).empty()) {
+      ConflictMap conflicts = FindConflicts(spec.reads, state);
+      if (claim_clean != conflicts.empty()) {
         ++report.conflicts;  // Schedule deviation: repair serially.
+        // A deviation with stale reads attributes them; a claim of conflicts
+        // that never materialized has no keys to blame.
+        RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
         ++report.full_reexecutions;
         t += FullReexecute(block, i, state, cache, cost, store, fees, report);
         continue;
@@ -160,6 +169,9 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
       }
     }
   }
+  // Scheduled redos execute without re-validating (the schedule is trusted),
+  // so only paranoid-mode deviations contribute attribution here.
+  report.conflict_keys = attribution.Sorted();
   CreditCoinbase(state, block.context.coinbase, fees);
   report.makespan_ns = t + options.cost.per_block_ns;
   report.commit_wall_ns = commit_timer.ElapsedNs();

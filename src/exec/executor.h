@@ -5,6 +5,7 @@
 
 #include <memory>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -47,6 +48,57 @@ struct ExecOptions {
   bool external_warmup = false;
 };
 
+// --- Conflict attribution. -------------------------------------------------
+//
+// Per validation failure, the (address, key) pairs whose stale reads caused
+// it, aggregated into a per-block hot-key histogram with the resolution
+// outcome (redo repair vs full-re-execution fallback) per key. Recorded on
+// the deterministic block-order commit path only, so like every other
+// non-wall counter it is bit-identical for any OS-thread count.
+
+enum class ConflictOutcome : uint8_t {
+  kRedoResolved = 0,  // The conflicting transaction was repaired by redo.
+  kFallback = 1,      // It fell back to full re-execution (or OCC-style
+                      // unconditional re-execution).
+};
+
+struct ConflictKeyStats {
+  StateKey key;
+  uint64_t conflicts = 0;      // Stale-read occurrences of this key.
+  uint64_t redo_resolved = 0;  // ...on transactions redo repaired.
+  uint64_t fallback = 0;       // ...on transactions that re-executed.
+
+  friend bool operator==(const ConflictKeyStats&, const ConflictKeyStats&) = default;
+};
+
+// Accumulates per-key conflict counts across a block's commit sweep.
+class ConflictAttribution {
+ public:
+  void Record(const StateKey& key, ConflictOutcome outcome) {
+    Counts& counts = stats_[key];
+    ++counts.conflicts;
+    if (outcome == ConflictOutcome::kRedoResolved) {
+      ++counts.redo_resolved;
+    } else {
+      ++counts.fallback;
+    }
+  }
+
+  bool empty() const { return stats_.empty(); }
+
+  // Deterministic hot-first ordering: conflict count descending, ties broken
+  // by key bytes ascending. Defined in pipeline.cc.
+  std::vector<ConflictKeyStats> Sorted() const;
+
+ private:
+  struct Counts {
+    uint64_t conflicts = 0;
+    uint64_t redo_resolved = 0;
+    uint64_t fallback = 0;
+  };
+  std::unordered_map<StateKey, Counts, StateKeyHash> stats_;
+};
+
 struct BlockReport {
   uint64_t makespan_ns = 0;
 
@@ -79,8 +131,20 @@ struct BlockReport {
   uint64_t prefetch_wasted = 0;
   uint64_t prefetch_wall_ns = 0;
 
+  // Hot-key conflict histogram (hottest first, ConflictAttribution::Sorted
+  // order). Empty for executors without read validation (serial, 2PL).
+  // Deterministic: recorded on the block-order commit path.
+  std::vector<ConflictKeyStats> conflict_keys;
+
   std::vector<Receipt> receipts;
 };
+
+// Sums every additive BlockReport field (virtual makespan, wall clocks,
+// conflict/redo/prefetch counters) across `reports` and re-aggregates the
+// per-key conflict histograms into one hot-first histogram. Receipts are not
+// carried over. The ChainReport companion: benches aggregate
+// chain_report.block_reports through this instead of hand-rolling sums.
+BlockReport AggregateBlockReports(const std::vector<BlockReport>& reports);
 
 class Executor {
  public:

@@ -11,9 +11,22 @@
 #include "src/exec/apply.h"
 #include "src/exec/thread_pool.h"
 #include "src/state/state_view.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 namespace {
+
+// Deterministic key order for attribution tie-breaking: address bytes, then
+// kind, then slot.
+bool StateKeyLess(const StateKey& a, const StateKey& b) {
+  if (auto cmp = a.address <=> b.address; cmp != 0) {
+    return cmp < 0;
+  }
+  if (a.kind != b.kind) {
+    return a.kind < b.kind;
+  }
+  return a.slot < b.slot;
+}
 
 // Worker pools are expensive to spawn, so one pool per requested width is
 // kept for the process lifetime. Pools are stateless between jobs, so reuse
@@ -30,6 +43,63 @@ ThreadPool& PoolFor(int width) {
 }
 
 }  // namespace
+
+std::vector<ConflictKeyStats> ConflictAttribution::Sorted() const {
+  std::vector<ConflictKeyStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, counts] : stats_) {
+    out.push_back({key, counts.conflicts, counts.redo_resolved, counts.fallback});
+  }
+  std::sort(out.begin(), out.end(), [](const ConflictKeyStats& a, const ConflictKeyStats& b) {
+    if (a.conflicts != b.conflicts) {
+      return a.conflicts > b.conflicts;
+    }
+    return StateKeyLess(a.key, b.key);
+  });
+  return out;
+}
+
+BlockReport AggregateBlockReports(const std::vector<BlockReport>& reports) {
+  BlockReport total;
+  std::unordered_map<StateKey, ConflictKeyStats, StateKeyHash> keys;
+  for (const BlockReport& r : reports) {
+    total.makespan_ns += r.makespan_ns;
+    total.wall_ns += r.wall_ns;
+    total.read_wall_ns += r.read_wall_ns;
+    total.commit_wall_ns += r.commit_wall_ns;
+    total.conflicts += r.conflicts;
+    total.redo_success += r.redo_success;
+    total.redo_fail += r.redo_fail;
+    total.full_reexecutions += r.full_reexecutions;
+    total.lock_aborts += r.lock_aborts;
+    total.redo_entries_reexecuted += r.redo_entries_reexecuted;
+    total.redo_ns += r.redo_ns;
+    total.oplog_entries += r.oplog_entries;
+    total.instructions += r.instructions;
+    total.prefetch_hits += r.prefetch_hits;
+    total.prefetch_misses += r.prefetch_misses;
+    total.prefetch_wasted += r.prefetch_wasted;
+    total.prefetch_wall_ns += r.prefetch_wall_ns;
+    for (const ConflictKeyStats& stats : r.conflict_keys) {
+      ConflictKeyStats& merged = keys.try_emplace(stats.key, ConflictKeyStats{stats.key}).first->second;
+      merged.conflicts += stats.conflicts;
+      merged.redo_resolved += stats.redo_resolved;
+      merged.fallback += stats.fallback;
+    }
+  }
+  total.conflict_keys.reserve(keys.size());
+  for (const auto& [key, stats] : keys) {
+    total.conflict_keys.push_back(stats);
+  }
+  std::sort(total.conflict_keys.begin(), total.conflict_keys.end(),
+            [](const ConflictKeyStats& a, const ConflictKeyStats& b) {
+              if (a.conflicts != b.conflicts) {
+                return a.conflicts > b.conflicts;
+              }
+              return StateKeyLess(a.key, b.key);
+            });
+  return total;
+}
 
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
                                  const Transaction& tx, bool with_log, SimStore* store) {
@@ -65,6 +135,7 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        BlockReport& report) {
   WallTimer timer;
   size_t n = block.transactions.size();
+  PEVM_TRACE_SPAN_ARG("exec.read_phase", "txs", n);
   ReadPhase phase;
   phase.specs.resize(n);
   phase.durations.assign(n, 0);
@@ -95,6 +166,7 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     if (modes[i] == SpecMode::kSkip) {
       return;
     }
+    PEVM_TRACE_SPAN_ARG("exec.speculate", "tx", i);
     phase.specs[i] = SpeculateTransaction(state, block.context, block.transactions[i],
                                           modes[i] == SpecMode::kWithLog, store);
   };
@@ -257,6 +329,7 @@ uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const C
 uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
                        const CostModel& cost, SimStore* store, U256& fees,
                        BlockReport& report) {
+  PEVM_TRACE_SPAN_ARG("exec.fallback", "tx", i);
   std::optional<SimStoreReader> reader;
   std::optional<StateView> view;
   if (store) {

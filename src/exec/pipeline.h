@@ -99,6 +99,17 @@ void AccountPrefetch(SimStore& store, const std::vector<PrefetchRequest>& reques
 // input).
 ConflictMap FindConflicts(const ReadSet& reads, const WorldState& state);
 
+// Books every key of a validation failure into the block's attribution
+// histogram under the given resolution outcome. Call on the block-order
+// commit path (after the outcome is known) so the histogram stays
+// OS-thread-count invariant.
+inline void RecordConflicts(const ConflictMap& conflicts, ConflictOutcome outcome,
+                            ConflictAttribution& attribution) {
+  for (const auto& [key, value] : conflicts) {
+    attribution.Record(key, outcome);
+  }
+}
+
 // Commits a validated receipt + write set: applies the writes and accrues the
 // fee if the receipt is valid, then moves the receipt into the report.
 // Returns the virtual commit cost.

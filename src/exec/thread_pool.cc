@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/telemetry/trace.h"
+
 namespace pevm {
 
 ThreadPool::ThreadPool(int threads) {
@@ -52,11 +54,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
 }
 
 void ThreadPool::WorkerLoop() {
+  PEVM_TRACE_THREAD_NAME("pool-worker");
   uint64_t seen = 0;
   for (;;) {
     const std::function<void(size_t)>* fn;
     size_t n;
     {
+      // Queue-wait vs run split: the idle span covers the cv wait for the
+      // next job, the run span covers this worker's share of the claim loop.
+      PEVM_TRACE_SPAN("pool.idle");
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
       if (stop_) {
@@ -66,6 +72,7 @@ void ThreadPool::WorkerLoop() {
       fn = fn_;
       n = n_;
     }
+    PEVM_TRACE_SPAN_ARG("pool.run", "n", n);
     size_t i;
     while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < n) {
       (*fn)(i);

@@ -12,6 +12,9 @@
 #include <cstring>
 #include <filesystem>
 
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+
 namespace pevm {
 namespace {
 
@@ -418,14 +421,20 @@ uint64_t KvStore::SyncUpTo(uint64_t target_total, bool* did_sync) {
       *did_sync = false;  // A concurrent committer's fsync already covered us.
       return NowNs() - start;
     }
-    if (::fdatasync(segment->fd) != 0) {
-      FatalIo("fdatasync", segment->path);
+    {
+      PEVM_TRACE_SPAN("kv.fsync");
+      if (::fdatasync(segment->fd) != 0) {
+        FatalIo("fdatasync", segment->path);
+      }
     }
     fsyncs_.fetch_add(1, std::memory_order_relaxed);
     durable_total_ = std::max(durable_total_, target_total);
   }
   *did_sync = true;
-  return NowNs() - start;
+  uint64_t elapsed = NowNs() - start;
+  static auto& fsync_hist = telemetry::GetHistogram("kv.fsync_ns");
+  fsync_hist.Observe(elapsed);
+  return elapsed;
 }
 
 KvCommitResult KvStore::Commit(const WriteBatch& batch) {
@@ -440,6 +449,7 @@ KvCommitResult KvStore::Commit(const WriteBatch& batch) {
   };
   uint64_t my_total = 0;
   {
+    PEVM_TRACE_SPAN_ARG("kv.append", "ops", batch.ops().size());
     std::lock_guard<std::mutex> lock(writer_mu_);
     MaybeRotateLocked();
     Bytes blob;
@@ -478,6 +488,8 @@ KvCommitResult KvStore::Commit(const WriteBatch& batch) {
     result.bytes_appended = blob.size();
     my_total = appended_total_;
   }
+  static auto& batch_hist = telemetry::GetHistogram("kv.batch_bytes");
+  batch_hist.Observe(result.bytes_appended);
   commits_.fetch_add(1, std::memory_order_relaxed);
   if (options_.fsync) {
     result.sync_ns = SyncUpTo(my_total, &result.fsynced);
@@ -570,6 +582,9 @@ bool KvStore::CompactOldest(bool force) {
     }
   }
 
+  // From here on a victim is selected: the span covers the actual compaction
+  // pass, not the no-op garbage-ratio polls.
+  PEVM_TRACE_SPAN("kv.compact");
   std::vector<std::string> keys;
   {
     std::lock_guard<std::mutex> lock(index_mu_);
@@ -652,6 +667,7 @@ bool KvStore::CompactOldest(bool force) {
   }
   compactions_.fetch_add(1, std::memory_order_relaxed);
   compacted_reclaimed_.fetch_add(reclaimed, std::memory_order_relaxed);
+  PEVM_TRACE_INSTANT_ARG("kv.compacted", "reclaimed_bytes", reclaimed);
   return true;
 }
 
@@ -666,6 +682,7 @@ void KvStore::SyncNow() {
 }
 
 void KvStore::CompactionLoop() {
+  PEVM_TRACE_THREAD_NAME("kv-compact");
   std::unique_lock<std::mutex> lock(compact_mu_);
   while (!stop_compaction_) {
     compact_cv_.wait_for(lock, std::chrono::milliseconds(options_.compaction_interval_ms));

@@ -5,6 +5,7 @@
 
 #include "src/kv/kv_store.h"
 #include "src/state/kv_keys.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 namespace {
@@ -61,6 +62,7 @@ bool SimStore::Touch(const StateKey& key) {
     warm_touches_.fetch_add(1, std::memory_order_relaxed);
     InjectLatency(config_.warm_read_ns);
   } else {
+    PEVM_TRACE_SPAN("sim.cold_read");
     cold_touches_.fetch_add(1, std::memory_order_relaxed);
     if (config_.backing != nullptr) {
       BackingRead(key);
@@ -75,6 +77,7 @@ void SimStore::WarmBatch(std::span<const StateKey> keys) {
   if (keys.empty()) {
     return;
   }
+  PEVM_TRACE_SPAN_ARG("sim.warm_batch", "keys", keys.size());
   if (config_.backing != nullptr) {
     for (const StateKey& key : keys) {
       BackingRead(key);
@@ -179,6 +182,8 @@ void PrefetchEngine::Drain() {
 }
 
 void PrefetchEngine::DriverLoop() {
+  PEVM_TRACE_THREAD_NAME("prefetch-driver");
+  PEVM_TRACE_SPAN_ARG("prefetch.drive", "txs", requests_.size());
   const size_t batch_size = std::max<size_t>(store_.config().batch_size, 1);
   const size_t max_pending = static_cast<size_t>(pool_.threads());
   std::vector<std::vector<StateKey>> pending;

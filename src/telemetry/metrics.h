@@ -1,0 +1,90 @@
+// The metrics registry: named counters, gauges, and fixed-bucket latency
+// histograms (power-of-two nanosecond buckets, interpolated p50/p95/p99),
+// snapshotted to JSON. Complements the trace recorder: traces answer "where
+// did this run's time go", metrics answer "what were the rates and tails".
+//
+// Cost contract: an enabled counter bump is one relaxed fetch_add; a
+// histogram observation is a bit_width + two relaxed fetch_adds. Lookup by
+// name takes a mutex — instrumentation sites cache the returned reference in
+// a function-local static so the hot path never touches the registry map.
+//
+// Inertness: like the trace recorder, metrics only observe — typically
+// piggybacking on durations the code already measures for wall-clock
+// BlockReport fields — and never feed anything back into execution.
+#ifndef SRC_TELEMETRY_METRICS_H_
+#define SRC_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pevm::telemetry {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Clear() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Clear() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i holds values whose bit width is i, i.e.
+// 0 → {0}, 1 → {1}, 2 → {2,3}, 3 → {4..7}, ... 64 buckets cover uint64_t.
+// Quantiles interpolate linearly inside the selected bucket, so p99 of
+// nanosecond latencies is exact to within a factor-of-2 bucket's width.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Observe(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket_count(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  // Quantile in [0,1] → interpolated value; 0 if the histogram is empty.
+  double Quantile(double q) const;
+  void Clear();
+
+  // Inclusive [lo, hi] value range of bucket i.
+  static uint64_t BucketLo(size_t i);
+  static uint64_t BucketHi(size_t i);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets]{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Registry lookups: create-on-first-use, stable references for the process
+// lifetime. Cache the reference at the instrumentation site:
+//   static auto& fsyncs = telemetry::GetCounter("kv.fsyncs");
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+
+// JSON snapshot: {"counters": {...}, "gauges": {...}, "histograms":
+// {name: {count, sum, p50, p95, p99, buckets: [{lo, hi, count}...]}}},
+// keys sorted by name.
+std::string MetricsJson();
+bool WriteMetricsJson(const std::string& path);
+
+// Zeroes every registered metric (registrations survive). Test hygiene.
+void ClearMetrics();
+
+}  // namespace pevm::telemetry
+
+#endif  // SRC_TELEMETRY_METRICS_H_

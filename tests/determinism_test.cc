@@ -44,6 +44,10 @@ void ExpectSameReport(const BlockReport& a, const BlockReport& b, int os_threads
   EXPECT_EQ(a.prefetch_hits, b.prefetch_hits);
   EXPECT_EQ(a.prefetch_misses, b.prefetch_misses);
   EXPECT_EQ(a.prefetch_wasted, b.prefetch_wasted);
+  // Conflict attribution is recorded on the block-order commit path and
+  // sorted deterministically, so the whole histogram — keys, order, and
+  // redo-vs-fallback split — is part of the contract.
+  EXPECT_EQ(a.conflict_keys, b.conflict_keys);
   EXPECT_EQ(a.receipts, b.receipts);
 }
 
