@@ -37,6 +37,9 @@ struct BenchFlags {
   bool smoke = false;
   std::string trace_path;
   std::string metrics_path;
+  // Extra commit-batch depth for the chain bench's commit sweep (0 = off).
+  // The sweep always covers {1, 4}; --commit-batch=N adds N to the set.
+  size_t commit_batch = 0;
 };
 
 // Parses argv into `flags`; prints a diagnostic and returns false on an
@@ -51,9 +54,25 @@ inline bool ParseBenchFlags(int argc, char** argv, BenchFlags& flags) {
       flags.trace_path = arg.substr(sizeof("--trace=") - 1);
     } else if (arg.starts_with("--metrics=")) {
       flags.metrics_path = arg.substr(sizeof("--metrics=") - 1);
+    } else if (arg.starts_with("--commit-batch=")) {
+      std::string_view v = arg.substr(sizeof("--commit-batch=") - 1);
+      size_t parsed = 0;
+      for (char c : v) {
+        if (c < '0' || c > '9') {
+          std::fprintf(stderr, "bad --commit-batch value: %s\n", argv[i]);
+          return false;
+        }
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+      }
+      if (parsed == 0) {
+        std::fprintf(stderr, "bad --commit-batch value: %s (must be >= 1)\n", argv[i]);
+        return false;
+      }
+      flags.commit_batch = parsed;
     } else {
       std::fprintf(stderr,
-                   "unknown flag: %s (supported: --smoke --trace=<file> --metrics=<file>)\n",
+                   "unknown flag: %s (supported: --smoke --trace=<file> --metrics=<file> "
+                   "--commit-batch=<n>)\n",
                    argv[i]);
       return false;
     }

@@ -16,13 +16,23 @@
 // every block batch without fsync, and with one fdatasync per block — the
 // write-amplification and commit-wall cost of crash safety.
 //
+// A fourth sweep measures the commit stage itself (BENCH_commit.json): the
+// serial single-threaded committer versus the shard-parallel one, crossed
+// with multi-block batched seals (CommitOptions::batch_blocks) and executor
+// width. Every run's per-block roots are checked against the serial oracle —
+// sharding and batching change commit wall clock and durability lag only.
+//
 // Usage: chain_throughput [--smoke] [--trace=<file>] [--metrics=<file>]
+//                         [--commit-batch=<n>]
 //   --smoke: CI-sized stream, same JSON. --trace: Chrome trace_event JSON of
 //   the whole run (warm/exec/commit stages, per-tx executor spans, prefetch
 //   batches, KV fsyncs on their real threads). --metrics: registry snapshot.
+//   --commit-batch=<n>: add batch depth n to the commit sweep's {1, 4}.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -260,6 +270,159 @@ int main(int argc, char** argv) {
                 row.sync_ms);
   }
   std::filesystem::remove_all(kv_root);
+
+  // --- Commit sweep: the shard-parallel committer versus the serial one,
+  // crossed with multi-block batched seals. persist = kInMemory so the full
+  // harvest + store write stream runs (bytes/nodes accounted) without disk
+  // noise. committer=serial pins commit.os_threads = 1; committer=sharded
+  // re-roots the 16 subtries on a pool of `os_threads`. Per-block roots stay
+  // bit-identical at every point of the grid — checked against the oracle.
+  std::vector<size_t> batch_depths = {1, 4};
+  if (flags.commit_batch != 0 &&
+      std::find(batch_depths.begin(), batch_depths.end(), flags.commit_batch) ==
+          batch_depths.end()) {
+    batch_depths.push_back(flags.commit_batch);
+  }
+  std::printf("\nCommit stage (overlapped, in-memory store):\n\n");
+  std::printf("%-11s %-10s %-7s %-11s %-9s %-12s %-10s %-9s %s\n", "os_threads", "committer",
+              "batch", "blocks/s", "wall_ms", "commit_busy", "apply_ms", "batches",
+              "q2d_max_ms");
+  struct CommitRow {
+    int os_threads = 0;
+    const char* committer = "serial";
+    size_t batch = 1;
+    double blocks_per_sec = 0.0;
+    double wall_ms = 0.0;
+    double commit_busy = 0.0;
+    double commit_busy_ms = 0.0;
+    double apply_ms = 0.0, persist_ms = 0.0;
+    double q2d_mean_ms = 0.0, q2d_max_ms = 0.0;
+    uint64_t batches = 0, bytes_appended = 0, nodes = 0;
+  };
+  std::vector<CommitRow> commit_rows;
+  for (int os_threads : {1, 4, 16}) {
+    double serial_busy_ms = 0.0;
+    for (bool sharded : {false, true}) {
+      for (size_t batch : batch_depths) {
+        ChainOptions options;
+        options.executor = ExecutorKind::kParallelEvm;
+        options.exec.threads = 16;
+        options.exec.os_threads = os_threads;
+        options.exec.storage.cold_read_ns = 200'000;
+        options.exec.storage.warm_read_ns = 500;
+        options.queue_depth = 3;
+        options.persist = PersistMode::kInMemory;
+        options.commit.os_threads = sharded ? os_threads : 1;
+        options.commit.batch_blocks = batch;
+        ChainRunner runner(options, genesis);
+        for (const Block& block : blocks) {
+          if (!runner.Submit(block)) {
+            std::fprintf(stderr, "FATAL: Submit rejected mid-stream\n");
+            return 1;
+          }
+        }
+        ChainReport report = runner.Finish();
+        if (HexEncode(report.final_root) != oracle_root) {
+          std::fprintf(stderr,
+                       "FATAL: committer=%s batch=%zu os_threads=%d final root diverged\n",
+                       sharded ? "sharded" : "serial", batch, os_threads);
+          return 1;
+        }
+        const size_t expect_batches =
+            (blocks.size() + batch - 1) / batch;  // Drain seals the tail.
+        if (report.commit_batches != expect_batches) {
+          std::fprintf(stderr, "FATAL: batch=%zu sealed %llu batches, expected %zu\n", batch,
+                       static_cast<unsigned long long>(report.commit_batches),
+                       expect_batches);
+          return 1;
+        }
+        CommitRow row;
+        row.os_threads = os_threads;
+        row.committer = sharded ? "sharded" : "serial";
+        row.batch = batch;
+        row.blocks_per_sec = report.blocks_per_sec();
+        row.wall_ms = report.wall_ns / 1e6;
+        row.commit_busy = report.commit.busy_fraction();
+        row.commit_busy_ms = report.commit.busy_ns / 1e6;
+        row.batches = report.commit_batches;
+        row.bytes_appended = report.kv_bytes_appended;
+        uint64_t q2d_sum = 0, q2d_max = 0;
+        for (const BlockDurability& d : report.durability) {
+          row.apply_ms += d.apply_ns / 1e6;
+          row.persist_ms += d.persist_ns / 1e6;
+          row.nodes += d.nodes_written;
+          q2d_sum += d.queue_to_durable_ns;
+          q2d_max = std::max(q2d_max, d.queue_to_durable_ns);
+        }
+        if (!report.durability.empty()) {
+          row.q2d_mean_ms = static_cast<double>(q2d_sum) / report.durability.size() / 1e6;
+        }
+        row.q2d_max_ms = q2d_max / 1e6;
+        if (!sharded && batch == 1) {
+          serial_busy_ms = row.commit_busy_ms;
+        }
+        commit_rows.push_back(row);
+        char speedup[32] = "-";
+        if ((sharded || batch != 1) && serial_busy_ms > 0.0 && row.commit_busy_ms > 0.0) {
+          std::snprintf(speedup, sizeof(speedup), "%.2fx", serial_busy_ms / row.commit_busy_ms);
+        }
+        std::printf("%-11d %-10s %-7zu %-11.2f %-9.1f %-12.3f %-10.2f %-9llu %-10.2f %s\n",
+                    os_threads, row.committer, row.batch, row.blocks_per_sec, row.wall_ms,
+                    row.commit_busy, row.apply_ms,
+                    static_cast<unsigned long long>(row.batches), row.q2d_max_ms, speedup);
+      }
+    }
+  }
+  std::printf("\n(committer=sharded re-roots the 16 account subtries in parallel; batch>1\n");
+  std::printf(" seals several blocks per NodeStore WriteBatch. Roots are per-block and\n");
+  std::printf(" bit-identical everywhere; q2d = honest enqueue->durable latency.)\n\n");
+
+  WriteBenchJson("BENCH_commit.json", [&](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("bench", "chain_throughput_commit");
+    w.Field("executor", "parallelevm");
+    w.Field("smoke", smoke);
+    w.Field("blocks", n_blocks);
+    w.Field("transactions_per_block", config.transactions_per_block);
+    w.BeginArray("results");
+    for (const CommitRow& r : commit_rows) {
+      w.BeginObject();
+      w.Field("os_threads", r.os_threads);
+      w.Field("committer", r.committer);
+      w.Field("batch_blocks", r.batch);
+      w.Field("blocks_per_sec", r.blocks_per_sec, 3);
+      w.Field("wall_ms", r.wall_ms, 3);
+      w.Field("commit_busy_frac", r.commit_busy);
+      w.Field("commit_busy_ms", r.commit_busy_ms, 3);
+      w.Field("apply_ms", r.apply_ms, 3);
+      w.Field("persist_ms", r.persist_ms, 3);
+      w.Field("commit_batches", r.batches);
+      w.Field("queue_to_durable_mean_ms", r.q2d_mean_ms, 3);
+      w.Field("queue_to_durable_max_ms", r.q2d_max_ms, 3);
+      w.Field("bytes_appended", r.bytes_appended);
+      w.Field("nodes_written", r.nodes);
+      w.EndObject();
+    }
+    w.EndArray();
+    // Commit-stage busy-time ratio serial/sharded at batch 1, keyed by
+    // os_threads — the acceptance number for the shard-parallel re-root.
+    w.BeginObject("commit_busy_speedup");
+    for (int os_threads : {1, 4, 16}) {
+      double serial_ms = 0.0, sharded_ms = 0.0;
+      for (const CommitRow& r : commit_rows) {
+        if (r.os_threads == os_threads && r.batch == 1) {
+          (std::string_view(r.committer) == "serial" ? serial_ms : sharded_ms) =
+              r.commit_busy_ms;
+        }
+      }
+      char key[16];
+      std::snprintf(key, sizeof(key), "%d", os_threads);
+      w.Field(key, sharded_ms > 0.0 ? serial_ms / sharded_ms : 0.0, 3);
+    }
+    w.EndObject();
+    w.Field("final_root", oracle_root);
+    w.EndObject();
+  });
 
   std::printf("\n");
   WriteBenchJson("BENCH_kv.json", [&](JsonWriter& w) {

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI entry guarding the concurrent read phase, the async prefetch pipeline,
-# the chain runner's three-stage block pipeline, the KV store's writer /
-# reader / background-compaction concurrency and the telemetry recorder's
-# lock-free rings (concurrent writers + live export): builds the tree with
+# the chain runner's three-stage block pipeline, the shard-parallel committer
+# (ShardedMpt per-shard apply/harvest + batched IncrementalStateTrie commits),
+# the KV store's writer / reader / background-compaction concurrency and the
+# telemetry recorder's lock-free rings (concurrent writers + live export):
+# builds the tree with
 # -fsanitize=thread (PEVM_SANITIZE=thread) and runs the suites that drive the
 # thread-pool pipeline, the background prefetch engine, the streaming
 # warm/execute/commit threads and the segment log hard. Any data race fails
@@ -18,12 +20,12 @@ cd "$(dirname "$0")/.."
 BUILD_DIR=${BUILD_DIR:-build-tsan}
 # The heavy differential battery is excluded: it is a semantics oracle, not a
 # race driver, and under TSan's ~10x slowdown it would dominate the gate.
-TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest)'}
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest)'}
 
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target determinism_test executor_test equivalence_test scheduled_test prefetch_test \
-           chain_test kv_test recovery_test telemetry_test
+           chain_test kv_test recovery_test telemetry_test trie_test
 
 cd "$BUILD_DIR"
 selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')

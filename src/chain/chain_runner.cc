@@ -60,11 +60,12 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
   options_.exec.external_warmup = true;  // The runner owns the SimStore lifecycle.
   switch (options_.persist) {
     case PersistMode::kNone:
-      trie_.emplace(state_);
+      trie_.emplace(state_, nullptr, IncrementalStateTrie::SeedMode::kFresh, options_.commit);
       break;
     case PersistMode::kInMemory:
       node_store_ = std::make_unique<InMemoryNodeStore>();
-      trie_.emplace(state_, node_store_.get());
+      trie_.emplace(state_, node_store_.get(), IncrementalStateTrie::SeedMode::kFresh,
+                    options_.commit);
       break;
     case PersistMode::kKv: {
       std::string error;
@@ -81,12 +82,13 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
         state_ = std::move(recovered->state);
         recovered_blocks_ = recovered->blocks_committed;
         trie_.emplace(state_, node_store_.get(),
-                      IncrementalStateTrie::SeedMode::kAlreadyDurable);
+                      IncrementalStateTrie::SeedMode::kAlreadyDurable, options_.commit);
         if (trie_->Root() != recovered->root) {
           FatalChain("recovered state root mismatch", options_.kv_dir);
         }
       } else {
-        trie_.emplace(state_, node_store_.get());
+        trie_.emplace(state_, node_store_.get(), IncrementalStateTrie::SeedMode::kFresh,
+                      options_.commit);
       }
       break;
     }
@@ -103,7 +105,7 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
   seed_root_ = trie_->Root();
   input_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
   ready_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
-  diffs_ = std::make_unique<BoundedQueue<StateDiff>>(options_.queue_depth);
+  diffs_ = std::make_unique<BoundedQueue<PendingCommit>>(options_.queue_depth);
   warm_thread_ = std::thread(&ChainRunner::WarmLoop, this);
   exec_thread_ = std::thread(&ChainRunner::ExecLoop, this);
   if (options_.overlap_commit) {
@@ -201,13 +203,20 @@ void ChainRunner::ExecLoop() {
     exec_hist.Observe(busy_ns);
     ++exec_stats_.blocks;
     block_reports_.push_back(std::move(report));
+    PendingCommit pending{std::move(diff), telemetry::NowNs()};
     if (options_.overlap_commit) {
-      if (!diffs_->Push(std::move(diff))) {
+      if (!diffs_->Push(std::move(pending))) {
         break;  // Aborted downstream.
       }
     } else {
-      CommitOne(diff);
+      CommitOne(std::move(pending));
     }
+  }
+  if (!options_.overlap_commit) {
+    // Inline committer: seal the open batch before the stream closes.
+    WallTimer tail;
+    FlushBatch();
+    commit_stats_.busy_ns += tail.ElapsedNs();
   }
   diffs_->Close();
   exec_stats_.wall_ns = stage.ElapsedNs();
@@ -219,38 +228,82 @@ void ChainRunner::ExecLoop() {
 void ChainRunner::CommitLoop() {
   PEVM_TRACE_THREAD_NAME("chain-commit");
   WallTimer stage;
-  while (std::optional<StateDiff> diff = diffs_->Pop()) {
+  while (std::optional<PendingCommit> pending = diffs_->Pop()) {
     PEVM_TRACE_COUNTER("chain.diff_queue", diffs_->depth());
-    CommitOne(*diff);
+    CommitOne(std::move(*pending));
   }
+  // Seal the open batch on drain — Finish AND Abort — so the durable
+  // manifest covers exactly the applied prefix roots_ reports.
+  WallTimer tail;
+  FlushBatch();
+  commit_stats_.busy_ns += tail.ElapsedNs();
   commit_stats_.wall_ns = stage.ElapsedNs();
 }
 
-void ChainRunner::CommitOne(const StateDiff& diff) {
+void ChainRunner::CommitOne(PendingCommit pending) {
   static auto& commit_hist = telemetry::GetHistogram("chain.commit_block_ns");
+  static auto& apply_serial_hist = telemetry::GetHistogram("chain.commit_apply_serial_ns");
+  static auto& apply_parallel_hist = telemetry::GetHistogram("chain.commit_apply_parallel_ns");
+  static auto& batch_gauge = telemetry::GetGauge("chain.commit_batch_depth");
   WallTimer busy;
   PEVM_TRACE_SPAN_ARG("chain.commit", "block", commit_stats_.blocks);
-  trie_->ApplyDiff(diff);
+  trie_->ApplyDiff(pending.diff);
   Hash256 root = trie_->Root();
   BlockDurability durability;
   durability.apply_ns = busy.ElapsedNs();
-  if (node_store_ != nullptr) {
-    // Chain-lifetime block index: a resumed runner keeps counting where the
-    // recovered manifest left off.
-    WallTimer persist;
-    NodeStoreCommitStats stats = trie_->CommitBlock(recovered_blocks_ + roots_.size());
-    durability.persist_ns = persist.ElapsedNs();
-    durability.sync_ns = stats.sync_ns;
-    durability.nodes_written = stats.nodes_written;
-    durability.bytes_appended = stats.bytes_appended;
-    durability.fsyncs = stats.fsyncs;
-  }
+  apply_serial_hist.Observe(trie_->last_apply().serial_ns);
+  apply_parallel_hist.Observe(trie_->last_apply().parallel_ns);
   roots_.push_back(root);
   durability_.push_back(durability);
+  batch_enqueue_ns_.push_back(pending.enqueue_ns);
+  batch_gauge.Set(static_cast<int64_t>(batch_enqueue_ns_.size()));
+  size_t batch = options_.commit.batch_blocks > 0 ? options_.commit.batch_blocks : 1;
+  if (batch_enqueue_ns_.size() >= batch) {
+    FlushBatch();
+  }
   uint64_t busy_ns = busy.ElapsedNs();
   commit_stats_.busy_ns += busy_ns;
   commit_hist.Observe(busy_ns);
   ++commit_stats_.blocks;
+}
+
+void ChainRunner::FlushBatch() {
+  static auto& q2d_hist = telemetry::GetHistogram("chain.block_queue_to_durable_ns");
+  const size_t count = batch_enqueue_ns_.size();
+  if (count == 0) {
+    return;
+  }
+  const size_t first_local = roots_.size() - count;
+  if (node_store_ != nullptr) {
+    static auto& persist_hist = telemetry::GetHistogram("chain.commit_persist_ns");
+    // Chain-lifetime block index: a resumed runner keeps counting where the
+    // recovered manifest left off.
+    WallTimer persist;
+    PEVM_TRACE_SPAN_ARG("chain.commit_batch", "blocks", count);
+    NodeStoreCommitStats stats =
+        trie_->CommitBatch(recovered_blocks_ + first_local,
+                           std::span<const Hash256>(roots_.data() + first_local, count));
+    uint64_t persist_ns = persist.ElapsedNs();
+    persist_hist.Observe(persist_ns);
+    // Seal costs are shared by the whole batch; attribute them to its last
+    // block so the report's totals stay exact (a per-block split would be
+    // arbitrary). Per-block latency lives in queue_to_durable_ns below.
+    BlockDurability& last = durability_.back();
+    last.persist_ns += persist_ns;
+    last.sync_ns += stats.sync_ns;
+    last.nodes_written += stats.nodes_written;
+    last.bytes_appended += stats.bytes_appended;
+    last.fsyncs += stats.fsyncs;
+  }
+  const uint64_t now = telemetry::NowNs();
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t enqueue_ns = batch_enqueue_ns_[i];
+    uint64_t latency = now > enqueue_ns ? now - enqueue_ns : 0;
+    durability_[first_local + i].queue_to_durable_ns = latency;
+    q2d_hist.Observe(latency);
+  }
+  batch_enqueue_ns_.clear();
+  ++commit_batches_;
 }
 
 void ChainRunner::JoinAll() {
@@ -278,6 +331,7 @@ ChainReport ChainRunner::BuildReport(bool aborted) {
   report.blocks_executed = exec_stats_.blocks;
   report.blocks_committed = roots_.size();
   report.blocks_resumed = recovered_blocks_;
+  report.commit_batches = commit_batches_;
   report.wall_ns = run_wall_ns_;
   report.aborted = aborted;
   report.durability = durability_;

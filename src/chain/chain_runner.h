@@ -84,6 +84,11 @@ struct ChainOptions {
   // state records (real preads against the same file the committer writes)
   // instead of the simulated cold latency. Requires persist == kKv.
   bool kv_backed_sim_store = false;
+  // Commit-stage knobs: shard-parallel re-rooting width and how many blocks
+  // fold into one durable seal (see CommitOptions). Batching trades commit
+  // durability lag for amortized fsyncs/WriteBatches; roots stay per-block
+  // and bit-identical at every setting.
+  CommitOptions commit;
 };
 
 // Per-stage accounting. busy_ns counts time spent doing stage work (warming,
@@ -112,6 +117,12 @@ struct BlockDurability {
   uint64_t nodes_written = 0;
   uint64_t bytes_appended = 0;  // Framed log bytes, commit marker included.
   uint64_t fsyncs = 0;
+  // Honest per-block latency under batching: from the block's diff entering
+  // the commit stage (or, inline, commit start) to its batch's seal
+  // returning. With batch_blocks > 1, seal costs above land on the batch's
+  // last block, but THIS field is still per-block — early batch members
+  // accrue their real wait for the batch boundary.
+  uint64_t queue_to_durable_ns = 0;
 };
 
 struct ChainReport {
@@ -123,6 +134,7 @@ struct ChainReport {
   uint64_t blocks_executed = 0;
   uint64_t blocks_committed = 0;  // == roots.size(); a consistent prefix.
   uint64_t blocks_resumed = 0;    // Durable blocks recovered at construction.
+  uint64_t commit_batches = 0;    // Durable seals this run (== blocks at batch 1).
   uint64_t wall_ns = 0;           // First Submit to pipeline join.
   bool aborted = false;
 
@@ -185,10 +197,22 @@ class ChainRunner {
   KvStore* kv_store() { return kv_store_.get(); }
 
  private:
+  // A block's diff plus the monotonic instant it left the exec stage — the
+  // anchor for the honest enqueue→durable latency under batching.
+  struct PendingCommit {
+    StateDiff diff;
+    uint64_t enqueue_ns = 0;
+  };
+
   void WarmLoop();
   void ExecLoop();
   void CommitLoop();
-  void CommitOne(const StateDiff& diff);
+  void CommitOne(PendingCommit pending);
+  // Seals every applied-but-unsealed block as one NodeStore batch and stamps
+  // each one's queue_to_durable_ns. No-op on an empty batch; called at the
+  // batch boundary and on commit-stage drain (Finish AND Abort, so the
+  // durable manifest never lags the applied prefix in-process).
+  void FlushBatch();
   void JoinAll();
   ChainReport BuildReport(bool aborted);
 
@@ -208,9 +232,9 @@ class ChainRunner {
   uint64_t recovered_blocks_ = 0;
   NodeStoreCommitStats genesis_durability_;
 
-  std::unique_ptr<BoundedQueue<Block>> input_;     // Submit -> warm.
-  std::unique_ptr<BoundedQueue<Block>> ready_;     // warm -> exec.
-  std::unique_ptr<BoundedQueue<StateDiff>> diffs_; // exec -> commit.
+  std::unique_ptr<BoundedQueue<Block>> input_;         // Submit -> warm.
+  std::unique_ptr<BoundedQueue<Block>> ready_;         // warm -> exec.
+  std::unique_ptr<BoundedQueue<PendingCommit>> diffs_; // exec -> commit.
 
   std::thread warm_thread_;
   std::thread exec_thread_;
@@ -224,6 +248,10 @@ class ChainRunner {
   std::vector<Hash256> roots_;
   std::vector<BlockReport> block_reports_;
   std::vector<BlockDurability> durability_;
+  // Enqueue instants of applied-but-unsealed blocks (the open batch); always
+  // the tail of roots_/durability_. Committer-thread-only state.
+  std::vector<uint64_t> batch_enqueue_ns_;
+  uint64_t commit_batches_ = 0;
 
   // Submit may race Finish/Abort (a producer thread aborted mid-stream), so
   // the shared flags are atomic; the queues provide the actual cutoff.

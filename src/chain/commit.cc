@@ -1,8 +1,9 @@
 #include "src/chain/commit.h"
 
-#include <vector>
+#include <chrono>
 
 #include "src/support/rlp.h"
+#include "src/telemetry/trace.h"
 
 namespace pevm {
 namespace {
@@ -12,60 +13,106 @@ Hash256 SlotKey(const U256& slot) {
   return Keccak256(BytesView(be.data(), be.size()));
 }
 
+uint64_t MonoNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
 }  // namespace
 
 IncrementalStateTrie::IncrementalStateTrie(const WorldState& genesis, NodeStore* store,
-                                           SeedMode mode)
-    : store_(store) {
-  const bool persist_genesis = store_ != nullptr && mode == SeedMode::kFresh;
-  for (const auto& [address, account] : genesis.accounts()) {
-    AccountEntry& entry = entries_[address];
-    entry.balance = account.balance;
-    entry.nonce = account.nonce;
-    entry.code_hash = Keccak256(account.code);
-    entry.addr_key = Keccak256(address.view());
-    if (persist_genesis) {
+                                           SeedMode mode, const CommitOptions& options)
+    : pool_(std::make_unique<ThreadPool>(ThreadPool::ResolveWidth(
+          options.os_threads > 0 ? options.os_threads : 1))),
+      store_(store) {
+  // Phase 1: keccak every address key in parallel (the dominant seeding cost
+  // after storage tries), then bucket accounts by shard on this thread.
+  std::vector<const std::pair<const Address, Account>*> items;
+  items.reserve(genesis.accounts().size());
+  for (const auto& kv : genesis.accounts()) {
+    items.push_back(&kv);
+  }
+  std::vector<Hash256> addr_keys(items.size());
+  pool_->ParallelFor(items.size(),
+                     [&](size_t i) { addr_keys[i] = Keccak256(items[i]->first.view()); });
+  std::array<std::vector<size_t>, ShardedMpt::kShards> buckets;
+  for (size_t i = 0; i < items.size(); ++i) {
+    int shard = addr_keys[i][0] >> 4;
+    shard_of_.emplace(items[i]->first, static_cast<uint8_t>(shard));
+    buckets[shard].push_back(i);
+  }
+
+  // Phase 2: build each shard — entries, storage tries, subtrie, warm root
+  // ref — fully independently.
+  pool_->ParallelFor(ShardedMpt::kShards, [&](size_t s) {
+    PEVM_TRACE_SPAN_ARG("commit.seed_shard", "shard", s);
+    std::vector<TrieUpdate> updates;
+    updates.reserve(buckets[s].size());
+    for (size_t i : buckets[s]) {
+      const auto& [address, account] = *items[i];
+      AccountEntry& entry = shards_[s].entries[address];
+      entry.balance = account.balance;
+      entry.nonce = account.nonce;
+      entry.code_hash = Keccak256(account.code);
+      entry.addr_key = addr_keys[i];
+      for (const auto& [slot, value] : account.storage) {
+        if (value.IsZero()) {
+          continue;
+        }
+        Hash256 key = SlotKey(slot);
+        entry.storage.Put(BytesView(key.data(), key.size()), RlpEncodeUint(value));
+      }
+      TrieUpdate update;
+      update.key.assign(entry.addr_key.begin(), entry.addr_key.end());
+      update.value =
+          RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash);
+      updates.push_back(std::move(update));
+    }
+    account_trie_.ApplyShardDiff(static_cast<int>(s), updates);
+    account_trie_.PrehashShard(static_cast<int>(s));
+  });
+
+  if (store_ == nullptr) {
+    return;
+  }
+  if (mode == SeedMode::kFresh) {
+    for (const auto* item : items) {
+      const auto& [address, account] = *item;
       store_->PutAccount(address, account.balance, account.nonce);
       if (!account.code.empty()) {
         store_->PutCode(address, BytesView(account.code.data(), account.code.size()));
       }
-    }
-    for (const auto& [slot, value] : account.storage) {
-      if (value.IsZero()) {
-        continue;
-      }
-      Hash256 key = SlotKey(slot);
-      entry.storage.Put(BytesView(key.data(), key.size()), RlpEncodeUint(value));
-      if (persist_genesis) {
+      for (const auto& [slot, value] : account.storage) {
+        if (value.IsZero()) {
+          continue;
+        }
         store_->PutStorage(address, slot, value);
       }
     }
-    account_trie_.Put(
-        BytesView(entry.addr_key.data(), entry.addr_key.size()),
-        RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash));
   }
-  if (persist_genesis) {
-    auto sink = [this](const Hash256& hash, BytesView encoding) {
-      store_->PutNode(hash, encoding);
-    };
-    for (auto& [address, entry] : entries_) {
-      entry.storage.HarvestDirtyNodes(sink);
-    }
-    account_trie_.HarvestDirtyNodes(sink);
-    genesis_stats_ = store_->CommitGenesis(Root());
-  } else if (store_ != nullptr) {
-    // Resume: the snapshot came from the store, so every node this seed built
-    // is already durable. Align the flags; the next harvest emits only what
-    // post-resume blocks dirty.
-    for (auto& [address, entry] : entries_) {
+  // No per-node archive pass at seed time: recovery rebuilds the trie from
+  // the flat mirror alone, so archiving the genesis image would be O(state)
+  // keccak + log bytes for records nothing reads. Bulk-mark everything the
+  // seed built persisted instead (cheap flag walks, no hashing); the archive
+  // only ever receives post-seed dirty spines. Applies to resume too — a
+  // recovered snapshot is durable by definition.
+  pool_->ParallelFor(ShardedMpt::kShards, [&](size_t s) {
+    for (auto& [address, entry] : shards_[s].entries) {
       entry.storage.MarkAllPersisted();
     }
-    account_trie_.MarkAllPersisted();
+  });
+  account_trie_.MarkAllPersisted();
+  if (mode == SeedMode::kFresh) {
+    genesis_stats_ = store_->CommitGenesis(Root());
   }
 }
 
-IncrementalStateTrie::AccountEntry& IncrementalStateTrie::Ensure(const Address& address) {
-  auto [it, inserted] = entries_.try_emplace(address);
+IncrementalStateTrie::~IncrementalStateTrie() = default;
+
+IncrementalStateTrie::AccountEntry& IncrementalStateTrie::Ensure(ShardState& shard,
+                                                                 const Address& address) {
+  auto [it, inserted] = shard.entries.try_emplace(address);
   if (inserted) {
     it->second.code_hash = Keccak256(Bytes{});
     it->second.addr_key = Keccak256(address.view());
@@ -73,85 +120,172 @@ IncrementalStateTrie::AccountEntry& IncrementalStateTrie::Ensure(const Address& 
   return it->second;
 }
 
-void IncrementalStateTrie::ApplyDiff(const StateDiff& diff) {
-  // Replay in journal order with WorldState's exact mutation semantics, then
-  // re-encode each dirty account body once. Account-trie insertion order does
-  // not matter (the MPT is canonical), only the final bodies do.
-  std::unordered_set<Address> dirty;
-  for (const auto& [key, value] : diff) {
+int IncrementalStateTrie::ShardFor(const Address& address) {
+  auto [it, inserted] = shard_of_.try_emplace(address, uint8_t{0});
+  if (inserted) {
+    Hash256 key = Keccak256(address.view());
+    it->second = static_cast<uint8_t>(key[0] >> 4);
+  }
+  return it->second;
+}
+
+void IncrementalStateTrie::ReplayShard(int shard_index) {
+  // Replay this shard's journal slice in order with WorldState's exact
+  // mutation semantics, then re-encode each dirty account body once.
+  // Account-trie insertion order does not matter (the MPT is canonical), only
+  // the final bodies do.
+  ShardState& shard = shards_[shard_index];
+  auto mark_dirty = [&shard](const Address& address) {
+    if (shard.dirty_seen.insert(address).second) {
+      shard.dirty.push_back(address);
+    }
+  };
+  for (const auto* op : shard.ops) {
+    const StateKey& key = op->first;
+    const U256& value = op->second;
     switch (key.kind) {
       case StateKeyKind::kBalance:
-        Ensure(key.address).balance = value;
-        dirty.insert(key.address);
+        Ensure(shard, key.address).balance = value;
+        mark_dirty(key.address);
         break;
       case StateKeyKind::kNonce:
-        Ensure(key.address).nonce = value.AsUint64();
-        dirty.insert(key.address);
+        Ensure(shard, key.address).nonce = value.AsUint64();
+        mark_dirty(key.address);
         break;
       case StateKeyKind::kStorage:
         if (value.IsZero()) {
           // Clearing a slot never materializes the account (mirrors
           // WorldState::SetStorage).
-          auto it = entries_.find(key.address);
-          if (it == entries_.end()) {
+          auto it = shard.entries.find(key.address);
+          if (it == shard.entries.end()) {
             break;
           }
           Hash256 slot_key = SlotKey(key.slot);
           it->second.storage.Delete(BytesView(slot_key.data(), slot_key.size()));
-          dirty.insert(key.address);
+          mark_dirty(key.address);
           if (store_ != nullptr) {
-            store_->PutStorage(key.address, key.slot, value);
+            shard.storage_ops.push_back({key.address, key.slot, value});
           }
         } else {
-          AccountEntry& entry = Ensure(key.address);
+          AccountEntry& entry = Ensure(shard, key.address);
           Hash256 slot_key = SlotKey(key.slot);
-          entry.storage.Put(BytesView(slot_key.data(), slot_key.size()),
-                            RlpEncodeUint(value));
-          dirty.insert(key.address);
+          entry.storage.Put(BytesView(slot_key.data(), slot_key.size()), RlpEncodeUint(value));
+          mark_dirty(key.address);
           if (store_ != nullptr) {
-            store_->PutStorage(key.address, key.slot, value);
+            shard.storage_ops.push_back({key.address, key.slot, value});
           }
         }
         break;
     }
   }
   std::vector<TrieUpdate> updates;
-  updates.reserve(dirty.size());
-  for (const Address& address : dirty) {
-    const AccountEntry& entry = entries_.at(address);
+  updates.reserve(shard.dirty.size());
+  for (const Address& address : shard.dirty) {
+    const AccountEntry& entry = shard.entries.at(address);
     TrieUpdate update;
     update.key.assign(entry.addr_key.begin(), entry.addr_key.end());
     update.value =
         RlpAccountBody(entry.nonce, entry.balance, entry.storage.RootHash(), entry.code_hash);
     updates.push_back(std::move(update));
     if (store_ != nullptr) {
-      // Every dirty account gets a mirror record — even an all-zero body
-      // materializes the account, and recovery must rebuild the exact account
-      // set (roots depend on it).
-      store_->PutAccount(address, entry.balance, entry.nonce);
-      pending_storage_dirty_.insert(address);
+      shard.storage_dirty.insert(address);
     }
   }
-  account_trie_.ApplyDiff(updates);
+  account_trie_.ApplyShardDiff(shard_index, updates);
+  account_trie_.PrehashShard(shard_index);
+}
+
+void IncrementalStateTrie::ApplyDiff(const StateDiff& diff) {
+  // Serial partition: route every journal entry to its address's shard. The
+  // only per-entry cost is the shard cache lookup (a keccak for first-ever
+  // addresses); nothing is materialized here — existence decisions belong to
+  // the replay, which sees its shard's ops in exact journal order.
+  uint64_t t0 = MonoNs();
+  for (const auto& op : diff) {
+    shards_[ShardFor(op.first.address)].ops.push_back(&op);
+  }
+
+  uint64_t t1 = MonoNs();
+  pool_->ParallelFor(ShardedMpt::kShards, [this](size_t s) {
+    PEVM_TRACE_SPAN_ARG("commit.shard_reroot", "shard", s);
+    ReplayShard(static_cast<int>(s));
+  });
+  uint64_t t2 = MonoNs();
+
+  // Serial flat-mirror flush, shard by shard. Per-key write order is
+  // journal order (an account's writes all live in one shard), which is all
+  // the store's WriteBatch semantics need; cross-shard interleaving differs
+  // from the monolithic committer but touches disjoint keys.
+  for (ShardState& shard : shards_) {
+    if (store_ != nullptr) {
+      for (const StorageOp& op : shard.storage_ops) {
+        store_->PutStorage(op.address, op.slot, op.value);
+      }
+      for (const Address& address : shard.dirty) {
+        // Every dirty account gets a mirror record — even an all-zero body
+        // materializes the account, and recovery must rebuild the exact
+        // account set (roots depend on it).
+        const AccountEntry& entry = shard.entries.at(address);
+        store_->PutAccount(address, entry.balance, entry.nonce);
+      }
+    }
+    shard.ops.clear();
+    shard.dirty.clear();
+    shard.dirty_seen.clear();
+    shard.storage_ops.clear();
+  }
+  uint64_t t3 = MonoNs();
+  last_apply_.serial_ns = (t1 - t0) + (t3 - t2);
+  last_apply_.parallel_ns = t2 - t1;
 }
 
 Hash256 IncrementalStateTrie::Root() const { return account_trie_.RootHash(); }
 
-NodeStoreCommitStats IncrementalStateTrie::CommitBlock(uint64_t block_index) {
-  if (store_ == nullptr) {
+size_t IncrementalStateTrie::account_count() const {
+  size_t total = 0;
+  for (const ShardState& shard : shards_) {
+    total += shard.entries.size();
+  }
+  return total;
+}
+
+NodeStoreCommitStats IncrementalStateTrie::CommitBatch(uint64_t first_block_index,
+                                                       std::span<const Hash256> roots) {
+  if (store_ == nullptr || roots.empty()) {
     return {};
   }
-  auto sink = [this](const Hash256& hash, BytesView encoding) {
-    store_->PutNode(hash, encoding);
-  };
-  // Storage tries first only by convention — the archive is content-addressed
-  // so harvest order cannot matter.
-  for (const Address& address : pending_storage_dirty_) {
-    entries_.at(address).storage.HarvestDirtyNodes(sink);
+  // Shard-parallel harvest into per-shard buffers (the store is not
+  // internally synchronized), then a serial merge. The archive is
+  // content-addressed, so the merge order cannot affect what recovery sees —
+  // only which duplicate writer wins the no-op race, and duplicates are
+  // bit-identical by construction.
+  account_trie_.PrepareHarvest();
+  pool_->ParallelFor(ShardedMpt::kShards, [this](size_t s) {
+    PEVM_TRACE_SPAN_ARG("commit.harvest_shard", "shard", s);
+    ShardState& shard = shards_[s];
+    MerklePatriciaTrie::NodeSink sink = [&shard](const Hash256& hash, BytesView encoding) {
+      shard.harvest.emplace_back(hash, Bytes(encoding.begin(), encoding.end()));
+    };
+    for (const Address& address : shard.storage_dirty) {
+      shard.entries.at(address).storage.HarvestDirtyNodes(sink);
+    }
+    shard.storage_dirty.clear();
+    account_trie_.HarvestShard(static_cast<int>(s), sink);
+  });
+  for (ShardState& shard : shards_) {
+    for (const auto& [hash, encoding] : shard.harvest) {
+      store_->PutNode(hash, BytesView(encoding.data(), encoding.size()));
+    }
+    shard.harvest.clear();
   }
-  pending_storage_dirty_.clear();
-  account_trie_.HarvestDirtyNodes(sink);
-  return store_->CommitBlock(block_index, Root());
+  account_trie_.FinishHarvest(
+      [this](const Hash256& hash, BytesView encoding) { store_->PutNode(hash, encoding); });
+  return store_->CommitBatch(first_block_index, roots);
+}
+
+NodeStoreCommitStats IncrementalStateTrie::CommitBlock(uint64_t block_index) {
+  Hash256 root = Root();
+  return CommitBatch(block_index, std::span<const Hash256>(&root, 1));
 }
 
 }  // namespace pevm

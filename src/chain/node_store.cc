@@ -68,10 +68,16 @@ NodeStoreCommitStats InMemoryNodeStore::CommitGenesis(const Hash256& root) {
   return SealPending();
 }
 
-NodeStoreCommitStats InMemoryNodeStore::CommitBlock(uint64_t block_index, const Hash256& root) {
+NodeStoreCommitStats InMemoryNodeStore::CommitBatch(uint64_t first_block_index,
+                                                    std::span<const Hash256> roots) {
+  // One advanced block count for the whole batch, one root record per block —
+  // exactly what the KV store's WriteBatch carries.
   pending_bytes_ += FramedPutBytes(kvkeys::kCommittedBlocks.size(), 8);
-  pending_bytes_ += FramedPutBytes(kvkeys::RootKey(block_index).size(), root.size());
-  roots_.push_back(root);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    pending_bytes_ += FramedPutBytes(kvkeys::RootKey(first_block_index + i).size(),
+                                     roots[i].size());
+    roots_.push_back(roots[i]);
+  }
   return SealPending();
 }
 
@@ -124,11 +130,15 @@ NodeStoreCommitStats KvNodeStore::CommitGenesis(const Hash256& root) {
   return Seal();
 }
 
-NodeStoreCommitStats KvNodeStore::CommitBlock(uint64_t block_index, const Hash256& root) {
-  Bytes count = kvkeys::EncodeU64Be(block_index + 1);
+NodeStoreCommitStats KvNodeStore::CommitBatch(uint64_t first_block_index,
+                                              std::span<const Hash256> roots) {
+  Bytes count = kvkeys::EncodeU64Be(first_block_index + roots.size());
   pending_.Put(kvkeys::kCommittedBlocks, BytesView(count.data(), count.size()));
-  Bytes root_bytes = RootBytes(root);
-  pending_.Put(kvkeys::RootKey(block_index), BytesView(root_bytes.data(), root_bytes.size()));
+  for (size_t i = 0; i < roots.size(); ++i) {
+    Bytes root_bytes = RootBytes(roots[i]);
+    pending_.Put(kvkeys::RootKey(first_block_index + i),
+                 BytesView(root_bytes.data(), root_bytes.size()));
+  }
   return Seal();
 }
 

@@ -19,6 +19,7 @@
 #define SRC_CHAIN_NODE_STORE_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -61,10 +62,24 @@ class NodeStore {
   virtual void PutStorage(const Address& address, const U256& slot, const U256& value) = 0;
   virtual void PutCode(const Address& address, BytesView code) = 0;
 
-  // Seals the genesis image (block count 0) / one block's batch. Everything
-  // Put since the previous seal becomes durable atomically.
+  // Seals the genesis image (block count 0). Everything Put since the
+  // previous seal becomes durable atomically.
   virtual NodeStoreCommitStats CommitGenesis(const Hash256& root) = 0;
-  virtual NodeStoreCommitStats CommitBlock(uint64_t block_index, const Hash256& root) = 0;
+
+  // Seals a run of consecutive blocks [first_block_index, first + roots.size())
+  // as ONE atomic batch: everything Put since the previous seal, the advanced
+  // block count and every per-block manifest root land in a single WriteBatch
+  // with a single group fsync. Per-block roots stay individually recorded, so
+  // RecoverChain replays them exactly as with single-block commits — but a
+  // crash between seals rolls back to the previous *batch* boundary (the
+  // durability-lag contract, DESIGN.md §4.4).
+  virtual NodeStoreCommitStats CommitBatch(uint64_t first_block_index,
+                                           std::span<const Hash256> roots) = 0;
+
+  // Single-block convenience: a batch of one.
+  NodeStoreCommitStats CommitBlock(uint64_t block_index, const Hash256& root) {
+    return CommitBatch(block_index, std::span<const Hash256>(&root, 1));
+  }
 };
 
 // No-I/O reference implementation; also handy test introspection.
@@ -76,7 +91,8 @@ class InMemoryNodeStore final : public NodeStore {
   void PutStorage(const Address& address, const U256& slot, const U256& value) override;
   void PutCode(const Address& address, BytesView code) override;
   NodeStoreCommitStats CommitGenesis(const Hash256& root) override;
-  NodeStoreCommitStats CommitBlock(uint64_t block_index, const Hash256& root) override;
+  NodeStoreCommitStats CommitBatch(uint64_t first_block_index,
+                                   std::span<const Hash256> roots) override;
 
   size_t node_count() const { return nodes_.size(); }
   uint64_t total_node_bytes() const { return total_node_bytes_; }
@@ -95,8 +111,9 @@ class InMemoryNodeStore final : public NodeStore {
 
 // Durable implementation on the embedded KV store. Not internally
 // synchronized: exactly one thread (the chain runner's committer stage) may
-// use it at a time, which also means one WriteBatch per block and one group
-// fsync per CommitBlock — the issue's "one fsync per block batch".
+// use it at a time, which also means one WriteBatch and one group fsync per
+// CommitBatch — multi-block batching amortizes both across every block the
+// batch seals.
 class KvNodeStore final : public NodeStore {
  public:
   explicit KvNodeStore(KvStore& store) : store_(&store) {}
@@ -107,7 +124,8 @@ class KvNodeStore final : public NodeStore {
   void PutStorage(const Address& address, const U256& slot, const U256& value) override;
   void PutCode(const Address& address, BytesView code) override;
   NodeStoreCommitStats CommitGenesis(const Hash256& root) override;
-  NodeStoreCommitStats CommitBlock(uint64_t block_index, const Hash256& root) override;
+  NodeStoreCommitStats CommitBatch(uint64_t first_block_index,
+                                   std::span<const Hash256> roots) override;
 
   KvStore& store() { return *store_; }
 

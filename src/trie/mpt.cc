@@ -376,6 +376,43 @@ size_t Harvest(const Node* node, bool is_root, const MerklePatriciaTrie::NodeSin
   return emitted;
 }
 
+// Shared lookup walk from an arbitrary subtree root. `rest` is the remaining
+// nibble path (already stripped of whatever the caller consumed).
+std::optional<Bytes> Lookup(const Node* node, BytesView rest) {
+  while (node != nullptr) {
+    switch (node->type) {
+      case Type::kLeaf: {
+        if (rest.size() == node->path.size() &&
+            std::equal(rest.begin(), rest.end(), node->path.begin())) {
+          return node->value;
+        }
+        return std::nullopt;
+      }
+      case Type::kExtension: {
+        if (rest.size() < node->path.size() ||
+            !std::equal(node->path.begin(), node->path.end(), rest.begin())) {
+          return std::nullopt;
+        }
+        rest = rest.subspan(node->path.size());
+        node = node->child.get();
+        break;
+      }
+      case Type::kBranch: {
+        if (rest.empty()) {
+          if (node->value.empty()) {
+            return std::nullopt;
+          }
+          return node->value;
+        }
+        node = node->children[rest[0]].get();
+        rest = rest.subspan(1);
+        break;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 size_t MerklePatriciaTrie::HarvestDirtyNodes(const NodeSink& sink) const {
@@ -427,40 +464,7 @@ size_t MerklePatriciaTrie::ApplyDiff(std::span<const TrieUpdate> updates) {
 
 std::optional<Bytes> MerklePatriciaTrie::Get(BytesView key) const {
   Bytes nibbles = ToNibbles(key);
-  const Node* node = root_.get();
-  BytesView rest = nibbles;
-  while (node != nullptr) {
-    switch (node->type) {
-      case Node::Type::kLeaf: {
-        if (rest.size() == node->path.size() &&
-            std::equal(rest.begin(), rest.end(), node->path.begin())) {
-          return node->value;
-        }
-        return std::nullopt;
-      }
-      case Node::Type::kExtension: {
-        if (rest.size() < node->path.size() ||
-            !std::equal(node->path.begin(), node->path.end(), rest.begin())) {
-          return std::nullopt;
-        }
-        rest = rest.subspan(node->path.size());
-        node = node->child.get();
-        break;
-      }
-      case Node::Type::kBranch: {
-        if (rest.empty()) {
-          if (node->value.empty()) {
-            return std::nullopt;
-          }
-          return node->value;
-        }
-        node = node->children[rest[0]].get();
-        rest = rest.subspan(1);
-        break;
-      }
-    }
-  }
-  return std::nullopt;
+  return Lookup(root_.get(), nibbles);
 }
 
 Hash256 MerklePatriciaTrie::RootHash() const {
@@ -468,6 +472,232 @@ Hash256 MerklePatriciaTrie::RootHash() const {
     return Keccak256(RlpEncodeBytes({}));  // 0x56e81f17... — the canonical empty root.
   }
   return Keccak256(Encode(root_.get()));
+}
+
+// --- ShardedMpt -------------------------------------------------------------
+//
+// Invariant: shard i holds exactly the monolithic keys whose first nibble is
+// i, stored over the remaining nibbles. Three shapes the monolithic root can
+// take, and how the join reproduces each bit-identically:
+//   0 live shards  — the canonical empty root.
+//   1 live shard i — the monolithic trie has no root branch. A leaf/extension
+//                    shard root merges with the nibble: the join emits the
+//                    same node with path {i} ++ shard_path. A branch shard
+//                    root is a real monolithic node (the child of an
+//                    extension with path {i}); the join emits that extension.
+//   >= 2 live      — the monolithic root is a branch with no value (keys are
+//                    non-empty) whose child i is exactly shard i's root.
+
+ShardedMpt::ShardedMpt() = default;
+ShardedMpt::~ShardedMpt() = default;
+ShardedMpt::ShardedMpt(ShardedMpt&&) noexcept = default;
+ShardedMpt& ShardedMpt::operator=(ShardedMpt&&) noexcept = default;
+
+int ShardedMpt::ShardOf(BytesView key) {
+  assert(!key.empty());
+  return key[0] >> 4;
+}
+
+void ShardedMpt::Put(BytesView key, BytesView value) {
+  assert(!value.empty());
+  const int shard = ShardOf(key);
+  Bytes nibbles = ToNibbles(key);
+  bool replaced = false;
+  roots_[shard] =
+      Insert(std::move(roots_[shard]), BytesView(nibbles).subspan(1), value, &replaced);
+  if (!replaced) {
+    ++sizes_[shard];
+  }
+  mutated_[shard] = true;
+}
+
+std::optional<Bytes> ShardedMpt::Get(BytesView key) const {
+  const int shard = ShardOf(key);
+  Bytes nibbles = ToNibbles(key);
+  return Lookup(roots_[shard].get(), BytesView(nibbles).subspan(1));
+}
+
+bool ShardedMpt::Delete(BytesView key) {
+  const int shard = ShardOf(key);
+  Bytes nibbles = ToNibbles(key);
+  bool removed = false;
+  roots_[shard] = Remove(std::move(roots_[shard]), BytesView(nibbles).subspan(1), &removed);
+  if (removed) {
+    --sizes_[shard];
+    mutated_[shard] = true;
+  }
+  return removed;
+}
+
+size_t ShardedMpt::ApplyDiff(std::span<const TrieUpdate> updates) {
+  size_t changed = 0;
+  for (const TrieUpdate& update : updates) {
+    if (update.value.empty()) {
+      changed += Delete(update.key) ? 1 : 0;
+    } else {
+      const int shard = ShardOf(update.key);
+      size_t before = sizes_[shard];
+      Put(update.key, update.value);
+      changed += sizes_[shard] != before ? 1 : 0;
+    }
+  }
+  return changed;
+}
+
+size_t ShardedMpt::ApplyShardDiff(int shard, std::span<const TrieUpdate> updates) {
+  size_t changed = 0;
+  for (const TrieUpdate& update : updates) {
+    assert(ShardOf(update.key) == shard);
+    if (update.value.empty()) {
+      changed += Delete(update.key) ? 1 : 0;
+    } else {
+      size_t before = sizes_[shard];
+      Put(update.key, update.value);
+      changed += sizes_[shard] != before ? 1 : 0;
+    }
+  }
+  return changed;
+}
+
+void ShardedMpt::PrehashShard(int shard) const {
+  if (roots_[shard] != nullptr) {
+    Ref(roots_[shard].get());
+  }
+}
+
+size_t ShardedMpt::size() const {
+  size_t total = 0;
+  for (size_t s : sizes_) {
+    total += s;
+  }
+  return total;
+}
+
+int ShardedMpt::LiveCount(int* lone) const {
+  int live = 0;
+  for (int i = 0; i < kShards; ++i) {
+    if (roots_[i] != nullptr) {
+      ++live;
+      *lone = i;
+    }
+  }
+  return live;
+}
+
+// The monolithic root's RLP encoding, reassembled from shard references.
+Bytes ShardedMpt::JoinEncoding() const {
+  int lone = -1;
+  const int live = LiveCount(&lone);
+  assert(live > 0);
+  std::vector<Bytes> items;
+  if (live == 1) {
+    const Node* shard_root = roots_[lone].get();
+    if (shard_root->type == Type::kBranch) {
+      // extension({lone}) -> shard branch.
+      items.push_back(RlpEncodeBytes(HexPrefix(Bytes{static_cast<uint8_t>(lone)},
+                                               /*is_leaf=*/false)));
+      items.push_back(Ref(shard_root));
+    } else {
+      // The shard root itself with the nibble prepended to its path.
+      Bytes path;
+      path.reserve(1 + shard_root->path.size());
+      path.push_back(static_cast<uint8_t>(lone));
+      path.insert(path.end(), shard_root->path.begin(), shard_root->path.end());
+      const bool is_leaf = shard_root->type == Type::kLeaf;
+      items.push_back(RlpEncodeBytes(HexPrefix(path, is_leaf)));
+      items.push_back(is_leaf ? RlpEncodeBytes(shard_root->value)
+                              : Ref(shard_root->child.get()));
+    }
+  } else {
+    for (int i = 0; i < kShards; ++i) {
+      items.push_back(roots_[i] ? Ref(roots_[i].get()) : RlpEncodeBytes({}));
+    }
+    items.push_back(RlpEncodeBytes({}));  // No value: every key has >= 2 nibbles.
+  }
+  return RlpEncodeList(items);
+}
+
+Hash256 ShardedMpt::RootHash() const {
+  int lone = -1;
+  if (LiveCount(&lone) == 0) {
+    return Keccak256(RlpEncodeBytes({}));
+  }
+  return Keccak256(JoinEncoding());
+}
+
+void ShardedMpt::PrepareHarvest() const {
+  int lone = -1;
+  harvest_live_ = LiveCount(&lone);
+  if (harvest_live_ >= 2 && merged_shard_ >= 0 && roots_[merged_shard_] != nullptr) {
+    // The last harvest published this shard's root only merged into the
+    // single-shard join; now that it is a branch child it needs a standalone
+    // record (the monolithic restructure would have dirtied it). Its children
+    // are already archived, so only the one node re-emits.
+    roots_[merged_shard_]->persisted = false;
+  }
+}
+
+size_t ShardedMpt::HarvestShardImpl(int shard, const NodeSink* sink) const {
+  const Node* shard_root = roots_[shard].get();
+  if (shard_root == nullptr) {
+    return 0;
+  }
+  if (harvest_live_ == 1 && shard_root->type != Type::kBranch) {
+    // Merged case: the shard root is not a monolithic node (FinishHarvest
+    // emits the merged join instead), but its subtree is. Harvest below it
+    // and mark the node clean so unchanged spines skip next time.
+    size_t emitted = 0;
+    if (shard_root->type == Type::kExtension) {
+      emitted = Harvest(shard_root->child.get(), /*is_root=*/false, sink);
+    }
+    shard_root->persisted = true;
+    return emitted;
+  }
+  return Harvest(shard_root, /*is_root=*/false, sink);
+}
+
+size_t ShardedMpt::FinishHarvestImpl(const NodeSink* sink) const {
+  bool dirty = false;
+  for (int i = 0; i < kShards; ++i) {
+    dirty = dirty || mutated_[i];
+    mutated_[i] = false;
+  }
+  int lone = -1;
+  const int live = LiveCount(&lone);
+  merged_shard_ = (live == 1 && roots_[lone]->type != Type::kBranch) ? lone : -1;
+  if (!dirty || live == 0) {
+    return 0;  // Nothing mutated (or empty trie: the monolithic root is null).
+  }
+  Bytes enc = JoinEncoding();
+  if (sink != nullptr) {
+    (*sink)(Keccak256(enc), BytesView(enc.data(), enc.size()));
+  }
+  return 1;  // The root is always emitted, matching the monolithic harvest.
+}
+
+size_t ShardedMpt::HarvestDirtyNodes(const NodeSink& sink) const {
+  PrepareHarvest();
+  size_t emitted = 0;
+  for (int shard = 0; shard < kShards; ++shard) {
+    emitted += HarvestShardImpl(shard, &sink);
+  }
+  return emitted + FinishHarvestImpl(&sink);
+}
+
+void ShardedMpt::MarkAllPersisted() const {
+  PrepareHarvest();
+  for (int shard = 0; shard < kShards; ++shard) {
+    HarvestShardImpl(shard, nullptr);
+  }
+  FinishHarvestImpl(nullptr);
+}
+
+size_t ShardedMpt::HarvestShard(int shard, const NodeSink& sink) const {
+  return HarvestShardImpl(shard, &sink);
+}
+
+size_t ShardedMpt::FinishHarvest(const NodeSink& sink) const {
+  return FinishHarvestImpl(&sink);
 }
 
 }  // namespace pevm

@@ -27,6 +27,7 @@
 #ifndef SRC_TRIE_MPT_H_
 #define SRC_TRIE_MPT_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -97,6 +98,89 @@ class MerklePatriciaTrie {
  private:
   std::unique_ptr<Node> root_;
   size_t size_ = 0;
+};
+
+// The same Merkle Patricia Trie, split by top-level nibble into 16
+// independent subtries plus a tiny synthetic root join — the shard layout the
+// parallel committer (src/chain/commit.h) fans out over. Each shard stores
+// its keys with the first nibble stripped, which makes a shard's root node
+// bit-identical (encoding, memo and all) to the corresponding child of the
+// monolithic trie's root branch; the join then reassembles the monolithic
+// root encoding from the 16 shard references, so RootHash is bit-identical to
+// MerklePatriciaTrie over the same contents (locked in by the
+// ShardedMptPropertyTest battery, which also checks harvested node sets).
+//
+// Concurrency contract: the serial surface (Put/Get/Delete/ApplyDiff/
+// RootHash/HarvestDirtyNodes) is single-threaded, exactly like the monolithic
+// trie. The parallel surface partitions work by shard: ApplyShardDiff,
+// PrehashShard and HarvestShard touch only shard-local state, so calls for
+// DISTINCT shards may run concurrently; the harvest protocol brackets the
+// per-shard phase with serial PrepareHarvest / FinishHarvest calls.
+class ShardedMpt {
+ public:
+  static constexpr int kShards = 16;
+
+  ShardedMpt();
+  ~ShardedMpt();
+  ShardedMpt(ShardedMpt&&) noexcept;
+  ShardedMpt& operator=(ShardedMpt&&) noexcept;
+  ShardedMpt(const ShardedMpt&) = delete;
+  ShardedMpt& operator=(const ShardedMpt&) = delete;
+
+  // Keys must be non-empty (one byte yields two nibbles, so every shard
+  // subtrie path is non-empty too). The chain committer's keys are keccak
+  // digests, which spread uniformly over the 16 shards.
+  static int ShardOf(BytesView key);
+
+  // Drop-in serial surface, same semantics as MerklePatriciaTrie.
+  void Put(BytesView key, BytesView value);
+  std::optional<Bytes> Get(BytesView key) const;
+  bool Delete(BytesView key);
+  size_t ApplyDiff(std::span<const TrieUpdate> updates);
+  Hash256 RootHash() const;
+  size_t size() const;
+
+  using NodeSink = MerklePatriciaTrie::NodeSink;
+  size_t HarvestDirtyNodes(const NodeSink& sink) const;
+  void MarkAllPersisted() const;
+
+  // --- Parallel surface (shard-disjoint calls may run concurrently). ---
+
+  // Applies one shard's updates in order; every key must map to `shard`.
+  size_t ApplyShardDiff(int shard, std::span<const TrieUpdate> updates);
+
+  // Forces the shard root's encoding + reference memo — the expensive keccak
+  // work of RootHash — so a later serial RootHash only joins 16 warm refs.
+  void PrehashShard(int shard) const;
+
+  // Harvest protocol: serial PrepareHarvest, then HarvestShard for each shard
+  // (parallelizable), then serial FinishHarvest (emits the join root when any
+  // shard mutated since the last harvest). The emitted (hash, encoding) set
+  // across the three phases is identical to the monolithic trie's
+  // HarvestDirtyNodes over the same mutation history.
+  void PrepareHarvest() const;
+  size_t HarvestShard(int shard, const NodeSink& sink) const;
+  size_t FinishHarvest(const NodeSink& sink) const;
+
+ private:
+  size_t HarvestShardImpl(int shard, const NodeSink* sink) const;
+  size_t FinishHarvestImpl(const NodeSink* sink) const;
+  Bytes JoinEncoding() const;
+  int LiveCount(int* lone) const;
+
+  std::array<std::unique_ptr<MerklePatriciaTrie::Node>, kShards> roots_;
+  std::array<size_t, kShards> sizes_{};
+  // Set by any Put / successful Delete, cleared by FinishHarvest: drives the
+  // "is the join root dirty" decision exactly like the monolithic root's
+  // persisted flag (every mutation dirties the monolithic root spine).
+  mutable std::array<bool, kShards> mutated_{};
+  // When the last harvest had exactly one live shard whose root is a leaf or
+  // extension, that root was published only merged into the synthetic join
+  // (nibble prepended) — it is not a standalone node of the monolithic trie.
+  // If a second shard comes alive, the monolithic restructure would dirty it,
+  // so PrepareHarvest clears its persisted flag to re-emit it standalone.
+  mutable int merged_shard_ = -1;
+  mutable int harvest_live_ = 0;  // Live-shard count captured by PrepareHarvest.
 };
 
 }  // namespace pevm

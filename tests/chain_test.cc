@@ -65,30 +65,41 @@ void ExpectRootsMatch(const ChainReport& report, const Stream& stream) {
   EXPECT_EQ(HexEncode(report.final_root), HexEncode(stream.oracle_roots.back()));
 }
 
-TEST(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsAndQueueDepths) {
+TEST(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsBatchesAndQueueDepths) {
   Stream stream = MakeStream(9100, 5);
   for (ExecutorKind kind : kAllExecutors) {
     for (int os_threads : {1, 4, 16}) {
       for (bool overlap : {true, false}) {
-        SCOPED_TRACE(testing::Message() << ExecutorKindName(kind) << " os_threads=" << os_threads
-                                        << " overlap=" << overlap);
-        ChainOptions options;
-        options.executor = kind;
-        options.exec.os_threads = os_threads;
-        options.overlap_commit = overlap;
-        // Rotate queue depth with thread count so a depth-1 (fully
-        // backpressured) pipeline is covered too.
-        options.queue_depth = os_threads == 4 ? 1 : 4;
-        ChainRunner runner(options, stream.genesis);
-        for (const Block& block : stream.blocks) {
-          ASSERT_TRUE(runner.Submit(block));
+        for (size_t batch : {size_t{1}, size_t{4}}) {
+          SCOPED_TRACE(testing::Message()
+                       << ExecutorKindName(kind) << " os_threads=" << os_threads
+                       << " overlap=" << overlap << " batch=" << batch);
+          ChainOptions options;
+          options.executor = kind;
+          options.exec.os_threads = os_threads;
+          options.overlap_commit = overlap;
+          // Rotate queue depth with thread count so a depth-1 (fully
+          // backpressured) pipeline is covered too.
+          options.queue_depth = os_threads == 4 ? 1 : 4;
+          // The committer re-roots shard-parallel at the same width the
+          // executor runs; batch 4 folds blocks into multi-block seals (with
+          // the accounting store attached so the seal path is exercised).
+          options.commit.os_threads = os_threads;
+          options.commit.batch_blocks = batch;
+          options.persist = batch == 1 ? PersistMode::kNone : PersistMode::kInMemory;
+          ChainRunner runner(options, stream.genesis);
+          for (const Block& block : stream.blocks) {
+            ASSERT_TRUE(runner.Submit(block));
+          }
+          ChainReport report = runner.Finish();
+          EXPECT_FALSE(report.aborted);
+          EXPECT_EQ(report.blocks_submitted, stream.blocks.size());
+          EXPECT_EQ(report.blocks_executed, stream.blocks.size());
+          ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+          // 5 blocks seal as 5 singleton batches or 4+1 (drain flush).
+          EXPECT_EQ(report.commit_batches, batch == 1 ? 5u : 2u);
+          ExpectRootsMatch(report, stream);
         }
-        ChainReport report = runner.Finish();
-        EXPECT_FALSE(report.aborted);
-        EXPECT_EQ(report.blocks_submitted, stream.blocks.size());
-        EXPECT_EQ(report.blocks_executed, stream.blocks.size());
-        ASSERT_EQ(report.blocks_committed, stream.blocks.size());
-        ExpectRootsMatch(report, stream);
       }
     }
   }
@@ -213,6 +224,89 @@ TEST(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
     ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot())) << "round " << round;
     ASSERT_EQ(trie.account_count(), state.account_count()) << "round " << round;
   }
+}
+
+// The sharded parallel committer vs the same committer run serially, vs the
+// from-scratch oracle — with multi-block batched seals on the parallel side.
+// Roots must agree every round; the per-block manifest roots both stores
+// record must be the identical sequence even though one sealed 30 singleton
+// batches and the other sealed batches of 3.
+TEST(IncrementalStateTrieTest, ShardParallelBatchedCommitsMatchSerialPerBlockCommits) {
+  std::mt19937_64 rng(5353);
+  auto address_for = [](uint64_t i) {
+    std::array<uint8_t, Address::kSize> bytes{};
+    bytes[0] = 0xCD;
+    for (size_t b = 0; b < 8; ++b) {
+      bytes[12 + b] = static_cast<uint8_t>(i >> (8 * b));
+    }
+    return Address(bytes);
+  };
+  WorldState state;
+  for (uint64_t i = 0; i < 16; ++i) {
+    state.SetBalance(address_for(i), U256(1'000 + i));
+    for (uint64_t s = 0; s < i % 5; ++s) {
+      state.SetStorage(address_for(i), U256(s), U256(100 * i + s));
+    }
+  }
+
+  InMemoryNodeStore serial_store;
+  InMemoryNodeStore batched_store;
+  IncrementalStateTrie serial_trie(state, &serial_store);
+  CommitOptions parallel_options;
+  parallel_options.os_threads = 4;
+  parallel_options.batch_blocks = 3;
+  IncrementalStateTrie batched_trie(state, &batched_store,
+                                    IncrementalStateTrie::SeedMode::kFresh, parallel_options);
+  ASSERT_EQ(HexEncode(serial_trie.Root()), HexEncode(state.StateRoot()));
+  ASSERT_EQ(HexEncode(batched_trie.Root()), HexEncode(state.StateRoot()));
+
+  std::vector<Hash256> pending;
+  uint64_t next_batch_first = 0;
+  for (int round = 0; round < 30; ++round) {
+    state.BeginDiff();
+    int writes = 1 + static_cast<int>(rng() % 12);
+    for (int w = 0; w < writes; ++w) {
+      Address address = address_for(rng() % 24);  // Indices 16..23 start absent.
+      switch (rng() % 4) {
+        case 0:
+          state.SetBalance(address, U256(rng() % 5'000));
+          break;
+        case 1:
+          state.SetNonce(address, rng() % 64);
+          break;
+        case 2:
+          state.SetStorage(address, U256(rng() % 6), U256(1 + rng() % 1'000));
+          break;
+        case 3:
+          state.SetStorage(address, U256(rng() % 6), U256{});
+          break;
+      }
+    }
+    StateDiff diff = state.TakeDiff();
+    serial_trie.ApplyDiff(diff);
+    batched_trie.ApplyDiff(diff);
+    ASSERT_EQ(HexEncode(serial_trie.Root()), HexEncode(state.StateRoot())) << "round " << round;
+    ASSERT_EQ(HexEncode(batched_trie.Root()), HexEncode(state.StateRoot())) << "round " << round;
+    serial_trie.CommitBlock(static_cast<uint64_t>(round));
+    pending.push_back(batched_trie.Root());
+    if (pending.size() == parallel_options.batch_blocks) {
+      batched_trie.CommitBatch(next_batch_first,
+                               std::span<const Hash256>(pending.data(), pending.size()));
+      next_batch_first += pending.size();
+      pending.clear();
+    }
+  }
+  ASSERT_TRUE(pending.empty());  // 30 rounds, batches of 3.
+  ASSERT_EQ(serial_store.roots().size(), 30u);
+  ASSERT_EQ(batched_store.roots().size(), 30u);
+  for (size_t b = 0; b < 30; ++b) {
+    EXPECT_EQ(HexEncode(serial_store.roots()[b]), HexEncode(batched_store.roots()[b]))
+        << "block " << b;
+  }
+  EXPECT_EQ(batched_trie.account_count(), state.account_count());
+  // Every node a batched seal archived must exist bit-identically in the
+  // serial archive (batching may skip intermediate versions, never invent).
+  EXPECT_LE(batched_store.node_count(), serial_store.node_count());
 }
 
 TEST(ChainShutdownTest, AbortMidStreamLeavesConsistentCommittedPrefix) {

@@ -181,6 +181,62 @@ TEST_F(ChainPersistenceTest, FsyncAccounting) {
   EXPECT_EQ(report.kv_fsyncs, stream.blocks.size() + 1);
 }
 
+// --- Multi-block batched commits: fsyncs amortize, accounting stays honest.
+
+TEST_F(ChainPersistenceTest, BatchedCommitsAmortizeFsyncsAndKeepAccountingHonest) {
+  Stream stream = MakeStream(7700, 7);
+  ChainOptions options = KvChainOptions(dir_.string());
+  options.kv.fsync = true;
+  options.commit.batch_blocks = 3;
+  options.commit.os_threads = 4;
+  ChainRunner runner(options, stream.genesis);
+  for (const Block& block : stream.blocks) {
+    ASSERT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+  ASSERT_EQ(report.blocks_committed, stream.blocks.size());
+  for (size_t b = 0; b < stream.oracle_roots.size(); ++b) {
+    ASSERT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+  }
+  EXPECT_EQ(report.commit_batches, 3u);  // 3 + 3 + 1 (drain flush).
+  // Seal freight (fsync, log bytes, archived nodes) lands on each batch's
+  // last block; earlier members carry none — but every block still records
+  // its own honest enqueue→durable latency.
+  for (size_t b = 0; b < report.durability.size(); ++b) {
+    const BlockDurability& d = report.durability[b];
+    const bool batch_final = b == 2 || b == 5 || b == 6;
+    EXPECT_EQ(d.fsyncs, batch_final ? 1u : 0u) << "block " << b;
+    EXPECT_EQ(d.bytes_appended > 0, batch_final) << "block " << b;
+    EXPECT_EQ(d.nodes_written > 0, batch_final) << "block " << b;
+    EXPECT_GT(d.queue_to_durable_ns, 0u) << "block " << b;
+  }
+  EXPECT_EQ(report.kv_fsyncs, 3u + 1u);  // One per batch plus the genesis seal.
+}
+
+TEST_F(ChainPersistenceTest, InMemoryStoreMirrorsKvByteAccountingUnderBatching) {
+  Stream stream = MakeStream(7800, 5);
+  auto run = [&](PersistMode mode) {
+    ChainOptions options = KvChainOptions((dir_ / "kv").string());
+    options.persist = mode;
+    options.commit.batch_blocks = 2;
+    ChainRunner runner(options, stream.genesis);
+    for (const Block& block : stream.blocks) {
+      EXPECT_TRUE(runner.Submit(block));
+    }
+    return runner.Finish();
+  };
+  ChainReport mem = run(PersistMode::kInMemory);
+  ChainReport kv = run(PersistMode::kKv);
+  ASSERT_EQ(mem.durability.size(), kv.durability.size());
+  for (size_t b = 0; b < mem.durability.size(); ++b) {
+    EXPECT_EQ(mem.durability[b].bytes_appended, kv.durability[b].bytes_appended)
+        << "block " << b;
+    EXPECT_EQ(mem.durability[b].nodes_written, kv.durability[b].nodes_written) << "block " << b;
+  }
+  EXPECT_EQ(mem.kv_bytes_appended, kv.kv_bytes_appended);
+  EXPECT_EQ(mem.commit_batches, kv.commit_batches);
+}
+
 // --- Resume: reopening a cleanly finished directory continues the stream.
 
 TEST_F(ChainResumeTest, ReopenResumesFromDurableHeadAndContinues) {
@@ -329,6 +385,94 @@ TEST_F(CrashRecoveryPropertyTest, RandomTailTruncationRecoversExactCommittedPref
       }
       fs::remove_all(work);
     }
+  }
+}
+
+// The durability-lag contract under multi-block batching: the store only
+// ever seals at batch boundaries (and the drain flush), so a torn tail can
+// roll recovery back ONLY to one of those points — never into the middle of
+// a batch — and a runner resumed on the wounded store replays forward to
+// roots bit-identical to the uninterrupted serial oracle.
+TEST_F(CrashRecoveryPropertyTest, TruncationUnderBatchingRecoversOnBatchBoundaries) {
+  const int kBlocks = 7;
+  const size_t kBatch = 3;  // Seals after blocks 3, 6 and the drain flush at 7.
+  Stream stream = MakeStream(45, kBlocks);
+  fs::path pristine = dir_ / "pristine";
+  ChainOptions options = KvChainOptions(pristine.string());
+  options.commit.batch_blocks = kBatch;
+  options.commit.os_threads = 4;
+  {
+    ChainRunner runner(options, stream.genesis);
+    for (const Block& block : stream.blocks) {
+      ASSERT_TRUE(runner.Submit(block));
+    }
+    ChainReport report = runner.Finish();
+    ASSERT_EQ(report.blocks_committed, static_cast<uint64_t>(kBlocks));
+    ASSERT_EQ(report.commit_batches, 3u);
+  }
+
+  std::mt19937_64 rng(997);
+  for (int trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE(testing::Message() << "trial=" << trial);
+    fs::path work = dir_ / "work";
+    fs::remove_all(work);
+    fs::copy(pristine, work, fs::copy_options::recursive);
+
+    std::vector<fs::path> segments;
+    for (const auto& entry : fs::directory_iterator(work)) {
+      if (entry.path().extension() == ".seg") {
+        segments.push_back(entry.path());
+      }
+    }
+    ASSERT_FALSE(segments.empty());
+    std::sort(segments.begin(), segments.end());
+    const fs::path& tail = segments.back();
+    const uint64_t size = fs::file_size(tail);
+    fs::resize_file(tail, rng() % size);
+
+    std::string error;
+    std::unique_ptr<KvStore> store = KvStore::Open(
+        work.string(), KvOptions{.fsync = false, .background_compaction = false}, &error);
+    ASSERT_NE(store, nullptr) << error;
+    std::optional<RecoveredChain> recovered = RecoverChain(*store);
+    uint64_t committed = 0;
+    if (!recovered.has_value()) {
+      EXPECT_EQ(segments.size(), 1u);  // Only a torn genesis batch may do this.
+    } else {
+      committed = recovered->blocks_committed;
+      // The contract's teeth: recovery can land on a batch boundary and
+      // nowhere else.
+      EXPECT_TRUE(committed == 0 || committed == kBatch || committed == 2 * kBatch ||
+                  committed == static_cast<uint64_t>(kBlocks))
+          << "committed=" << committed;
+      EXPECT_EQ(HexEncode(recovered->root), HexEncode(PrefixRoot(stream, committed)));
+      EXPECT_EQ(HexEncode(recovered->state.StateRoot()), HexEncode(recovered->root));
+      ASSERT_EQ(recovered->roots.size(), committed);
+      for (uint64_t b = 0; b < committed; ++b) {
+        EXPECT_EQ(HexEncode(recovered->roots[b]), HexEncode(stream.oracle_roots[b]));
+      }
+    }
+    store.reset();
+
+    // Wounded-store resume, batching still on: the continuation's roots must
+    // land exactly where the uninterrupted run's did.
+    if (trial < 2) {
+      ChainOptions resume = KvChainOptions(work.string());
+      resume.commit.batch_blocks = kBatch;
+      resume.commit.os_threads = 4;
+      ChainRunner runner(resume, stream.genesis);
+      ASSERT_EQ(runner.recovered_blocks(), committed);
+      for (size_t b = committed; b < stream.blocks.size(); ++b) {
+        ASSERT_TRUE(runner.Submit(stream.blocks[b]));
+      }
+      ChainReport report = runner.Finish();
+      ASSERT_EQ(report.blocks_committed, stream.blocks.size() - committed);
+      for (size_t b = committed; b < stream.oracle_roots.size(); ++b) {
+        EXPECT_EQ(HexEncode(report.roots[b - committed]), HexEncode(stream.oracle_roots[b]))
+            << "block " << b;
+      }
+    }
+    fs::remove_all(work);
   }
 }
 

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <map>
+#include <mutex>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "src/support/bytes.h"
@@ -406,6 +410,199 @@ TEST_P(MptApplyDiffPropertyTest, BatchedDiffsMatchFromScratchRebuild) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MptApplyDiffPropertyTest, ::testing::Values(11, 23, 59, 83));
+
+// --- ShardedMpt: the 16-way split the parallel committer fans out over. ---
+// Equivalence contract: identical mutation history ⇒ bit-identical root AND
+// bit-identical harvested node multiset vs the monolithic trie, at every
+// step — including the degenerate shapes (empty, one live shard whose root
+// merges into the join, transitions between those and the general case).
+
+using HarvestSet = std::vector<std::pair<Hash256, Bytes>>;
+
+template <typename Trie>
+HarvestSet HarvestSorted(const Trie& trie) {
+  HarvestSet nodes;
+  trie.HarvestDirtyNodes([&nodes](const Hash256& hash, BytesView encoding) {
+    Bytes enc(encoding.begin(), encoding.end());
+    EXPECT_EQ(HexEncode(Keccak256(BytesView(enc.data(), enc.size()))), HexEncode(hash));
+    nodes.emplace_back(hash, std::move(enc));
+  });
+  std::sort(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+TEST(ShardedMptTest, EmptyTrieHasCanonicalRoot) {
+  ShardedMpt trie;
+  EXPECT_EQ(HexEncode(trie.RootHash()),
+            "56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421");
+  EXPECT_EQ(trie.HarvestDirtyNodes([](const Hash256&, BytesView) {}), 0u);
+}
+
+TEST(ShardedMptTest, MatchesMonolithicOnKnownVectors) {
+  ShardedMpt sharded;
+  MerklePatriciaTrie mono;
+  for (const auto& [k, v] : std::vector<std::pair<Bytes, Bytes>>{
+           {B("do"), B("verb")},
+           {B("horse"), B("stallion")},
+           {B("doge"), B("coin")},
+           {B("dog"), B("puppy")},
+       }) {
+    sharded.Put(k, v);
+    mono.Put(k, v);
+    ASSERT_EQ(HexEncode(sharded.RootHash()), HexEncode(mono.RootHash()));
+    ASSERT_EQ(sharded.Get(k), mono.Get(k));
+  }
+  EXPECT_EQ(sharded.size(), mono.size());
+  EXPECT_EQ(HarvestSorted(sharded), HarvestSorted(mono));
+}
+
+// The satellite battery: 200 rounds of mixed Put/Delete/ApplyDiff churn with
+// roots, sizes and harvested node sets compared every round. Odd seeds pin
+// the key's first byte to a two-value set so the trie spends most of its life
+// with 0–2 live shards (the merged-root join cases and their transitions);
+// even seeds spread keys over all 16 shards.
+class ShardedMptPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardedMptPropertyTest, ChurnKeepsRootsAndHarvestsBitIdentical) {
+  const uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  const bool pin_shards = seed % 2 == 1;
+  ShardedMpt sharded;
+  MerklePatriciaTrie mono;
+  std::map<Bytes, Bytes> oracle;
+  auto random_key = [&]() {
+    Bytes key(1 + rng() % 5);
+    key[0] = pin_shards ? static_cast<uint8_t>((rng() % 2) * 0x10)
+                        : static_cast<uint8_t>(rng());
+    for (size_t i = 1; i < key.size(); ++i) {
+      key[i] = static_cast<uint8_t>(rng() % 3);  // Tiny alphabet: deep sharing.
+    }
+    return key;
+  };
+  for (int round = 0; round < 200; ++round) {
+    if (rng() % 3 == 0) {
+      // Batched ApplyDiff round (the committer's usage).
+      std::vector<TrieUpdate> updates;
+      size_t n = 1 + rng() % 12;
+      for (size_t u = 0; u < n; ++u) {
+        TrieUpdate update;
+        update.key = random_key();
+        if (rng() % 3 != 0) {
+          update.value = {static_cast<uint8_t>(rng() % 255 + 1)};
+          oracle[update.key] = update.value;
+        } else {
+          oracle.erase(update.key);
+        }
+        updates.push_back(std::move(update));
+      }
+      size_t changed_sharded = sharded.ApplyDiff(updates);
+      size_t changed_mono = mono.ApplyDiff(updates);
+      ASSERT_EQ(changed_sharded, changed_mono) << "round " << round;
+    } else {
+      // Point-mutation round; deletes are frequent enough to drain shards
+      // back through the lone-live and empty join shapes.
+      Bytes key = random_key();
+      if (rng() % 2 == 0) {
+        Bytes value = {static_cast<uint8_t>(rng() % 255 + 1)};
+        sharded.Put(key, value);
+        mono.Put(key, value);
+        oracle[key] = value;
+      } else {
+        bool oracle_had = oracle.erase(key) > 0;
+        ASSERT_EQ(sharded.Delete(key), oracle_had) << "round " << round;
+        ASSERT_EQ(mono.Delete(key), oracle_had) << "round " << round;
+      }
+    }
+    ASSERT_EQ(sharded.size(), mono.size()) << "round " << round;
+    ASSERT_EQ(HexEncode(sharded.RootHash()), HexEncode(mono.RootHash())) << "round " << round;
+    ASSERT_EQ(HarvestSorted(sharded), HarvestSorted(mono)) << "round " << round;
+    if (rng() % 16 == 0) {
+      Bytes probe = random_key();
+      ASSERT_EQ(sharded.Get(probe), mono.Get(probe)) << "round " << round;
+    }
+  }
+  // Drain to empty: the final transitions back through one and zero live
+  // shards must also stay in lockstep.
+  for (auto it = oracle.begin(); it != oracle.end();) {
+    const Bytes key = it->first;
+    it = oracle.erase(it);
+    ASSERT_TRUE(sharded.Delete(key));
+    ASSERT_TRUE(mono.Delete(key));
+    ASSERT_EQ(HexEncode(sharded.RootHash()), HexEncode(mono.RootHash()));
+    ASSERT_EQ(HarvestSorted(sharded), HarvestSorted(mono));
+  }
+  EXPECT_EQ(sharded.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedMptPropertyTest,
+                         ::testing::Values(101, 102, 203, 204, 305));
+
+// The parallel surface under real threads (TSan gate material): one thread
+// per shard replays its slice and pre-hashes, then the bracketed harvest
+// protocol runs its per-shard phase concurrently. Roots and harvested nodes
+// must match a monolithic trie fed the same updates serially.
+TEST(ShardedMptConcurrencyTest, ShardParallelApplyAndHarvestMatchMonolithic) {
+  std::mt19937_64 rng(777);
+  ShardedMpt sharded;
+  MerklePatriciaTrie mono;
+  NodeArchive sharded_archive;
+  NodeArchive mono_archive;
+  std::mutex archive_mu;
+  for (int round = 0; round < 6; ++round) {
+    std::array<std::vector<TrieUpdate>, ShardedMpt::kShards> slices;
+    for (int i = 0; i < 300; ++i) {
+      TrieUpdate update;
+      update.key.resize(1 + rng() % 4);
+      update.key[0] = static_cast<uint8_t>(rng());
+      for (size_t b = 1; b < update.key.size(); ++b) {
+        update.key[b] = static_cast<uint8_t>(rng() % 3);
+      }
+      if (rng() % 4 != 0) {
+        update.value = {static_cast<uint8_t>(rng() % 255 + 1)};
+      }
+      int shard = ShardedMpt::ShardOf(BytesView(update.key.data(), update.key.size()));
+      mono.ApplyDiff(std::span<const TrieUpdate>(&update, 1));
+      slices[shard].push_back(std::move(update));
+    }
+    {
+      std::vector<std::thread> threads;
+      for (int s = 0; s < ShardedMpt::kShards; ++s) {
+        threads.emplace_back([&, s] {
+          sharded.ApplyShardDiff(s, slices[s]);
+          sharded.PrehashShard(s);
+        });
+      }
+      for (auto& t : threads) {
+        t.join();
+      }
+    }
+    ASSERT_EQ(HexEncode(sharded.RootHash()), HexEncode(mono.RootHash())) << "round " << round;
+    sharded.PrepareHarvest();
+    {
+      std::vector<std::thread> threads;
+      for (int s = 0; s < ShardedMpt::kShards; ++s) {
+        threads.emplace_back([&, s] {
+          HarvestSet local;
+          sharded.HarvestShard(s, [&local](const Hash256& hash, BytesView encoding) {
+            local.emplace_back(hash, Bytes(encoding.begin(), encoding.end()));
+          });
+          std::lock_guard<std::mutex> lock(archive_mu);
+          for (auto& [hash, enc] : local) {
+            sharded_archive[hash] = std::move(enc);
+          }
+        });
+      }
+      for (auto& t : threads) {
+        t.join();
+      }
+    }
+    sharded.FinishHarvest([&](const Hash256& hash, BytesView encoding) {
+      sharded_archive[hash] = Bytes(encoding.begin(), encoding.end());
+    });
+    HarvestInto(mono, mono_archive);
+    ASSERT_EQ(sharded_archive, mono_archive) << "round " << round;
+  }
+}
 
 }  // namespace
 }  // namespace pevm
