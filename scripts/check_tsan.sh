@@ -18,14 +18,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-# The heavy differential battery is excluded: it is a semantics oracle, not a
-# race driver, and under TSan's ~10x slowdown it would dominate the gate.
-TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest)'}
+# The heavy differential batteries (DifferentialTest, the full
+# ChainSpecDifferentialTest run) are excluded from the ctest selection: they
+# are semantics oracles, not race drivers, and under TSan's ~10x slowdown they
+# would dominate the gate. A reduced slice of the cross-block speculation
+# battery runs separately below — it IS a race driver: spec thread vs exec
+# commit frontier through the write-observer overlay.
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|BoundaryValidationTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest)'}
 
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target determinism_test executor_test equivalence_test scheduled_test prefetch_test \
-           chain_test kv_test recovery_test telemetry_test trie_test
+           chain_test chain_spec_test kv_test recovery_test telemetry_test trie_test
 
 cd "$BUILD_DIR"
 selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')
@@ -36,4 +40,8 @@ if [[ -z "$selected" || "$selected" -eq 0 ]]; then
 fi
 echo "== TSan: running $selected tests matching $TSAN_REGEX =="
 ctest -R "$TSAN_REGEX" --output-on-failure -j "$(nproc)"
-echo "ThreadSanitizer: all $selected selected tests clean."
+
+echo "== TSan: reduced cross-block speculation battery =="
+./tests/chain_spec_test --blocks=4 --gtest_filter='ChainSpecDifferentialTest.*'
+
+echo "ThreadSanitizer: all $selected selected tests (+ speculation battery slice) clean."

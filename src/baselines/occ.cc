@@ -7,7 +7,7 @@
 
 namespace pevm {
 
-BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
+BlockReport OccExecutor::Execute(const Block& block, WorldState& state, BoundarySeeds* seeds) {
   WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
@@ -15,9 +15,10 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state) {
   BlockReport report;
   size_t n = block.transactions.size();
 
-  // Read phase (no operation logs: OCC cannot repair, only restart).
-  ReadPhase read =
-      RunReadPhase(block, state, SpecMode::kPlain, cache, cost, options_, store, report);
+  // Read phase (no operation logs: OCC cannot repair, only restart). Seeds
+  // that survived boundary validation clean are adopted verbatim.
+  ReadPhase read = RunReadPhase(block, state, SpecMode::kPlain, cache, cost, options_, store,
+                                report, seeds);
   ScheduleResult schedule =
       ListSchedule(read.durations, options_.threads, options_.cost.dispatch_ns);
 

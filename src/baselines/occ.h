@@ -15,7 +15,14 @@ class OccExecutor final : public Executor {
   explicit OccExecutor(const ExecOptions& options) : options_(options) {}
 
   std::string_view name() const override { return "occ"; }
-  BlockReport Execute(const Block& block, WorldState& state) override;
+  BlockReport Execute(const Block& block, WorldState& state) override {
+    return Execute(block, state, nullptr);
+  }
+  BlockReport Execute(const Block& block, WorldState& state, BoundarySeeds* seeds) override;
+  // Plain records (no SSA log): seeds can only be reused clean — any stale
+  // read drops the record at the boundary, mirroring OCC's in-block
+  // restart-only conflict handling.
+  SpecMode seed_mode() const override { return SpecMode::kPlain; }
   SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:

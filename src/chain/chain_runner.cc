@@ -103,10 +103,32 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
   executor_ = MakeExecutor(options_.executor, options_.exec);
   store_ = executor_->chain_store();
   seed_root_ = trie_->Root();
+  spec_enabled_ = options_.speculate && executor_->seed_mode() != SpecMode::kSkip;
+  if (spec_enabled_) {
+    // Frozen speculation base: copied BEFORE the observer attaches, so the
+    // copy holds no observer pointer and never sees post-construction writes
+    // (those reach the spec stage through the overlay instead).
+    spec_base_.emplace(state_);
+    state_.SetWriteObserver(&overlay_);
+    const int spec_width =
+        options_.spec_threads > 0
+            ? ThreadPool::ResolveWidth(options_.spec_threads)
+            : std::max(16, ThreadPool::ResolveWidth(options_.exec.os_threads));
+    spec_pool_ = std::make_unique<ThreadPool>(spec_width);
+    // Depth 1 deliberately, regardless of queue_depth: the hand-off queue
+    // bounds speculative run-ahead. With a deeper queue the spec stage races
+    // several blocks past the commit frontier and nearly every overlay read
+    // it takes is stale by its boundary; depth 1 keeps it roughly one block
+    // ahead of the executor — full overlap, minimal staleness.
+    specced_ = std::make_unique<BoundedQueue<SpecItem>>(1);
+  }
   input_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
   ready_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
   diffs_ = std::make_unique<BoundedQueue<PendingCommit>>(options_.queue_depth);
   warm_thread_ = std::thread(&ChainRunner::WarmLoop, this);
+  if (spec_enabled_) {
+    spec_thread_ = std::thread(&ChainRunner::SpecLoop, this);
+  }
   exec_thread_ = std::thread(&ChainRunner::ExecLoop, this);
   if (options_.overlap_commit) {
     commit_thread_ = std::thread(&ChainRunner::CommitLoop, this);
@@ -150,6 +172,9 @@ ChainReport ChainRunner::Abort() {
   // the committed prefix stays a prefix.
   input_->Abort();
   ready_->Abort();
+  if (specced_) {
+    specced_->Abort();
+  }
   diffs_->Abort();
   JoinAll();
   report_ = BuildReport(/*aborted=*/true);
@@ -184,18 +209,122 @@ void ChainRunner::WarmLoop() {
   warm_stats_.wall_ns = stage.ElapsedNs();
 }
 
-void ChainRunner::ExecLoop() {
-  PEVM_TRACE_THREAD_NAME("chain-exec");
-  static auto& exec_hist = telemetry::GetHistogram("chain.exec_block_ns");
+void ChainRunner::SpecLoop() {
+  PEVM_TRACE_THREAD_NAME("chain-spec");
+  static auto& launched_hist = telemetry::GetHistogram("chain.spec_launched_per_block");
   WallTimer stage;
+  const bool with_log = executor_->seed_mode() == SpecMode::kWithLog;
   while (std::optional<Block> block = ready_->Pop()) {
     WallTimer busy;
     PEVM_TRACE_COUNTER("chain.ready_queue", ready_->depth());
+    SpecItem item{std::move(*block), std::nullopt};
+    const size_t n = item.block.transactions.size();
+    if (n > 0) {
+      PEVM_TRACE_SPAN_ARG("chain.spec_launch", "txs", n);
+      SpeculativeBlock spec;
+      spec.specs.resize(n);
+      // Gate prepass (cheap, serial): hold back transactions predicted to
+      // touch fallback-hot keys; their early record would only be dropped.
+      std::vector<PrefetchRequest> requests = BuildPrefetchRequests(item.block);
+      std::vector<char> launch(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<StateKey> predicted =
+            store_ ? store_->PredictSet(requests[i])
+                   : std::vector<StateKey>{StateKey::Balance(requests[i].from),
+                                           StateKey::Nonce(requests[i].from),
+                                           StateKey::Balance(requests[i].to)};
+        if (gate_.ShouldHold(predicted)) {
+          ++spec.held;
+        } else {
+          launch[i] = 1;
+          ++spec.launched;
+        }
+      }
+      // Early read phase against overlay ∘ frozen base: overlay hits are the
+      // in-flight block's uncommitted writes; base reads pay the simulated
+      // storage latency and warm residency — work the in-block read phase
+      // then skips. Values are predictions; the boundary validation on the
+      // exec thread is what makes reusing them sound.
+      SpecOverlayReader reader(overlay_, *spec_base_, store_);
+      auto speculate_one = [&](size_t i) {
+        if (!launch[i]) {
+          return;
+        }
+        PEVM_TRACE_SPAN_ARG("chain.speculate", "tx", i);
+        item.spec->specs[i] = SpeculateTransaction(reader, item.block.context,
+                                                   item.block.transactions[i], with_log);
+      };
+      item.spec = std::move(spec);
+      spec_pool_->ParallelFor(n, speculate_one);
+      launched_hist.Observe(item.spec->launched);
+    }
+    spec_stats_.busy_ns += busy.ElapsedNs();
+    ++spec_stats_.blocks;
+    if (!specced_->Push(std::move(item))) {
+      break;  // Aborted downstream.
+    }
+  }
+  specced_->Close();
+  spec_stats_.wall_ns = stage.ElapsedNs();
+}
+
+void ChainRunner::ExecLoop() {
+  PEVM_TRACE_THREAD_NAME("chain-exec");
+  static auto& exec_hist = telemetry::GetHistogram("chain.exec_block_ns");
+  static auto& repaired_hist = telemetry::GetHistogram("chain.boundary_redo_repaired");
+  static auto& dropped_hist = telemetry::GetHistogram("chain.boundary_dropped");
+  WallTimer stage;
+  // With speculation the exec stage's input is the spec stage's output;
+  // otherwise blocks come straight from the warm stage.
+  auto next = [this]() -> std::optional<SpecItem> {
+    if (spec_enabled_) {
+      return specced_->Pop();
+    }
+    if (std::optional<Block> block = ready_->Pop()) {
+      return SpecItem{std::move(*block), std::nullopt};
+    }
+    return std::nullopt;
+  };
+  while (std::optional<SpecItem> item = next()) {
+    WallTimer busy;
+    if (spec_enabled_) {
+      PEVM_TRACE_COUNTER("chain.specced_queue", specced_->depth());
+    } else {
+      PEVM_TRACE_COUNTER("chain.ready_queue", ready_->depth());
+    }
+    Block& block = item->block;
     BlockReport report;
+    // Boundary validation: the previous block's Execute has returned and this
+    // thread is the only state_ writer, so state_ is quiescent — exactly the
+    // committed post-predecessor state the seeds must be validated against.
+    BoundarySeeds seeds;
+    bool have_seeds = false;
+    std::vector<StateKey> boundary_dropped;
+    if (item->spec) {
+      WallTimer validate;
+      PEVM_TRACE_SPAN_ARG("chain.boundary_validate", "block", exec_stats_.blocks);
+      BoundaryOutcome outcome = ValidateBoundary(std::move(item->spec->specs), state_);
+      ++spec_totals_.blocks_speculated;
+      spec_totals_.txs_launched += item->spec->launched;
+      spec_totals_.txs_held += item->spec->held;
+      spec_totals_.seeds_clean += outcome.clean;
+      spec_totals_.seeds_redo_repaired += outcome.redo_repaired;
+      spec_totals_.seeds_dropped += outcome.dropped;
+      spec_totals_.stale_reads += outcome.stale_keys;
+      spec_totals_.boundary_validate_wall_ns += validate.ElapsedNs();
+      repaired_hist.Observe(outcome.redo_repaired);
+      dropped_hist.Observe(outcome.dropped);
+      seeds = std::move(outcome.seeds);
+      boundary_dropped = std::move(outcome.dropped_keys);
+      have_seeds = true;
+    }
     {
       PEVM_TRACE_SPAN_ARG("chain.exec", "block", exec_stats_.blocks);
       state_.BeginDiff();
-      report = executor_->Execute(*block, state_);
+      report = executor_->Execute(block, state_, have_seeds ? &seeds : nullptr);
+    }
+    if (spec_enabled_) {
+      gate_.Update(report.conflict_keys, boundary_dropped);
     }
     StateDiff diff = state_.TakeDiff();
     uint64_t busy_ns = busy.ElapsedNs();
@@ -310,6 +439,9 @@ void ChainRunner::JoinAll() {
   if (warm_thread_.joinable()) {
     warm_thread_.join();
   }
+  if (spec_thread_.joinable()) {
+    spec_thread_.join();
+  }
   if (exec_thread_.joinable()) {
     exec_thread_.join();
   }
@@ -322,10 +454,17 @@ void ChainRunner::JoinAll() {
 ChainReport ChainRunner::BuildReport(bool aborted) {
   ChainReport report;
   report.warm = warm_stats_;
+  report.spec = spec_stats_;
   report.exec = exec_stats_;
   report.commit = commit_stats_;
+  report.speculation = spec_totals_;
   report.warm.max_queue_depth = input_->max_depth();
-  report.exec.max_queue_depth = ready_->max_depth();
+  if (spec_enabled_) {
+    report.spec.max_queue_depth = ready_->max_depth();
+    report.exec.max_queue_depth = specced_->max_depth();
+  } else {
+    report.exec.max_queue_depth = ready_->max_depth();
+  }
   report.commit.max_queue_depth = diffs_->max_depth();
   report.blocks_submitted = blocks_submitted_.load();
   report.blocks_executed = exec_stats_.blocks;

@@ -26,14 +26,20 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "src/chain/bounded_queue.h"
 #include "src/chain/commit.h"
+#include "src/exec/boundary.h"
 #include "src/exec/executor.h"
 #include "src/exec/pipeline.h"
+#include "src/exec/thread_pool.h"
+#include "src/state/spec_overlay.h"
 
 namespace pevm {
 
@@ -89,6 +95,22 @@ struct ChainOptions {
   // durability lag for amortized fsyncs/WriteBatches; roots stay per-block
   // and bit-identical at every setting.
   CommitOptions commit;
+  // Cross-block speculative execution (DESIGN.md §4.5): while block N
+  // executes, a fourth pipeline stage runs block N+1's read phase against an
+  // overlay of N's uncommitted writes; at the block boundary every
+  // speculative record is validated against the committed state and either
+  // reused, redo-repaired, or dropped. Determinism contract: speculation
+  // changes wall clock only — roots, receipts, virtual makespans and every
+  // deterministic BlockReport field are bit-identical to speculate = false.
+  // Ignored (stage not started) for executors whose seed_mode() is kSkip.
+  bool speculate = false;
+
+  // Width of the speculation stage's read pool. The stage is latency-bound —
+  // its threads mostly sit in simulated-storage waits, and its results are
+  // boundary-validated anyway — so like prefetch workers it defaults wider
+  // than the execution width instead of inheriting exec.os_threads. 0 means
+  // max(16, resolved exec width). Wall-clock only, like everything here.
+  int spec_threads = 0;
 };
 
 // Per-stage accounting. busy_ns counts time spent doing stage work (warming,
@@ -125,10 +147,28 @@ struct BlockDurability {
   uint64_t queue_to_durable_ns = 0;
 };
 
+// Cross-block speculation outcome totals. Everything here is wall-clock
+// class: which transactions launch early (vs are held or arrive after the
+// boundary) depends on thread timing, so these counters may vary run to run
+// — unlike the deterministic BlockReport fields, which speculation cannot
+// change at all.
+struct SpecStats {
+  uint64_t blocks_speculated = 0;  // Blocks that went through the spec stage.
+  uint64_t txs_launched = 0;       // Speculated against the overlay.
+  uint64_t txs_held = 0;           // Kept back by the hot-key gate.
+  uint64_t seeds_clean = 0;        // Reused verbatim at the boundary.
+  uint64_t seeds_redo_repaired = 0;
+  uint64_t seeds_dropped = 0;
+  uint64_t stale_reads = 0;        // Stale read-set entries across boundaries.
+  uint64_t boundary_validate_wall_ns = 0;
+};
+
 struct ChainReport {
   StageStats warm;
+  StageStats spec;  // All-zero unless ChainOptions::speculate engaged.
   StageStats exec;
   StageStats commit;
+  SpecStats speculation;
 
   uint64_t blocks_submitted = 0;
   uint64_t blocks_executed = 0;
@@ -204,7 +244,61 @@ class ChainRunner {
     uint64_t enqueue_ns = 0;
   };
 
+  // What the speculation stage hands the exec stage: the block plus (when the
+  // stage ran on it) its overlay speculation records awaiting boundary
+  // validation.
+  struct SpecItem {
+    Block block;
+    std::optional<SpeculativeBlock> spec;
+  };
+
+  // Launch/hold filter for the speculation stage: a transaction predicted to
+  // touch a key whose recent conflicts needed full re-execution fallback is
+  // held back (its early record would just be dropped at the boundary);
+  // redo-repairable hot keys stay launchable — repairing them cheaply at the
+  // boundary is the point of the operation-level redo machinery. Rebuilt from
+  // each block's conflict_keys histogram by the exec thread, queried by the
+  // spec thread; wall-clock-only by construction (held transactions merely
+  // speculate in-block as usual).
+  class HotKeyGate {
+   public:
+    // `keys` is the block's in-block conflict histogram; `boundary_dropped`
+    // the keys whose staleness just made the boundary drop a record — the
+    // cross-block flavor of a fallback, fed back for the same reason.
+    void Update(const std::vector<ConflictKeyStats>& keys,
+                const std::vector<StateKey>& boundary_dropped) {
+      std::lock_guard<std::mutex> lock(mu_);
+      hot_.clear();
+      for (const ConflictKeyStats& stats : keys) {
+        if (stats.fallback > 0) {
+          hot_.insert(stats.key);
+        }
+      }
+      for (const StateKey& key : boundary_dropped) {
+        hot_.insert(key);
+      }
+    }
+
+    bool ShouldHold(std::span<const StateKey> predicted) const {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (hot_.empty()) {
+        return false;
+      }
+      for (const StateKey& key : predicted) {
+        if (hot_.contains(key)) {
+          return true;
+        }
+      }
+      return false;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::unordered_set<StateKey, StateKeyHash> hot_;
+  };
+
   void WarmLoop();
+  void SpecLoop();
   void ExecLoop();
   void CommitLoop();
   void CommitOne(PendingCommit pending);
@@ -233,18 +327,35 @@ class ChainRunner {
   NodeStoreCommitStats genesis_durability_;
 
   std::unique_ptr<BoundedQueue<Block>> input_;         // Submit -> warm.
-  std::unique_ptr<BoundedQueue<Block>> ready_;         // warm -> exec.
+  std::unique_ptr<BoundedQueue<Block>> ready_;         // warm -> spec/exec.
+  std::unique_ptr<BoundedQueue<SpecItem>> specced_;    // spec -> exec (speculate only).
   std::unique_ptr<BoundedQueue<PendingCommit>> diffs_; // exec -> commit.
 
+  // Cross-block speculation plumbing, engaged only when spec_enabled_.
+  // overlay_ observes every state_ write; spec_base_ is the frozen committed
+  // state captured before the observer attached; spec_pool_ is the stage's
+  // own worker pool (the PoolFor singletons are not reentrant and the exec
+  // thread's read phase uses them concurrently).
+  bool spec_enabled_ = false;
+  SpecOverlay overlay_;
+  std::optional<WorldState> spec_base_;
+  std::unique_ptr<ThreadPool> spec_pool_;
+  HotKeyGate gate_;
+
   std::thread warm_thread_;
+  std::thread spec_thread_;  // Only started when spec_enabled_.
   std::thread exec_thread_;
   std::thread commit_thread_;  // Only started when overlap_commit.
 
   // Each stage's stats are written by that stage's thread only and read after
-  // the join; roots_/block_reports_ likewise.
+  // the join; roots_/block_reports_ likewise. spec_totals_ is exec-thread
+  // state: launched/held counts travel inside the SpecItem, boundary outcomes
+  // are produced on the exec thread.
   StageStats warm_stats_;
+  StageStats spec_stats_;
   StageStats exec_stats_;
   StageStats commit_stats_;
+  SpecStats spec_totals_;
   std::vector<Hash256> roots_;
   std::vector<BlockReport> block_reports_;
   std::vector<BlockDurability> durability_;

@@ -102,6 +102,18 @@ struct TxLog {
   // such transactions fall back to full re-execution.
   bool redoable = true;
 
+  // Return-output provenance (outermost frame only): the receipt's output
+  // bytes as captured at read-phase time plus their byte-level provenance,
+  // mirroring OpLogEntry::{input_bytes, def_memory}. A successful redo leaves
+  // the defining entries' results updated in place, so
+  // PatchedReturnOutput (redo.h) can rebuild a storage-dependent output
+  // (balanceOf, AMM amount_out) without re-entering the EVM. A side table,
+  // not a log entry: it adds nothing to size()/dug, so every oplog-derived
+  // counter and the virtual makespan are unchanged.
+  Bytes return_bytes;
+  std::vector<MemDep> return_deps;
+  bool has_return = false;
+
   size_t size() const { return entries.size(); }
   const OpLogEntry& operator[](size_t i) const { return entries[i]; }
   OpLogEntry& operator[](size_t i) { return entries[i]; }

@@ -9,7 +9,8 @@
 
 namespace pevm {
 
-BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) {
+BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state,
+                                         BoundarySeeds* seeds) {
   WallTimer block_timer;
   CostModel cost(options_.cost);
   StateCache cache(options_.prefetch);
@@ -18,9 +19,11 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state) 
   size_t n = block.transactions.size();
 
   // --- Read phase: speculative execution against the block-start state on
-  // real OS threads, recording read/write sets and SSA operation logs. ---
-  ReadPhase read =
-      RunReadPhase(block, state, SpecMode::kWithLog, cache, cost, options_, store, report);
+  // real OS threads, recording read/write sets and SSA operation logs.
+  // Boundary-validated cross-block seeds (if any) are adopted in place of
+  // fresh speculation — bit-identical records, minus the latency. ---
+  ReadPhase read = RunReadPhase(block, state, SpecMode::kWithLog, cache, cost, options_, store,
+                                report, seeds);
   ScheduleResult schedule = pre_execution_
                                 ? ScheduleResult{std::vector<uint64_t>(n, 0), 0}
                                 : ListSchedule(read.durations, options_.threads,

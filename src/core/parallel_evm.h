@@ -22,7 +22,13 @@ class ParallelEvmExecutor final : public Executor {
   std::string_view name() const override {
     return pre_execution_ ? "parallelevm+preexec" : "parallelevm";
   }
-  BlockReport Execute(const Block& block, WorldState& state) override;
+  BlockReport Execute(const Block& block, WorldState& state) override {
+    return Execute(block, state, nullptr);
+  }
+  BlockReport Execute(const Block& block, WorldState& state, BoundarySeeds* seeds) override;
+  // Consumes full SSA-logged records: the chain's speculation stage must run
+  // kWithLog so seeded transactions keep their redo capability in-block.
+  SpecMode seed_mode() const override { return SpecMode::kWithLog; }
   SimStore* chain_store() override { return EnsureSimStore(options_, sim_store_); }
 
  private:

@@ -109,6 +109,21 @@ bool Reexecute(TxLog& log, OpLogEntry& entry,
 
 }  // namespace
 
+Bytes PatchedReturnOutput(const TxLog& log) {
+  Bytes out = log.return_bytes;
+  for (const MemDep& dep : log.return_deps) {
+    Bytes src = log.entries[static_cast<size_t>(dep.lsn)].ResultBytes();
+    for (uint32_t i = 0; i < dep.len; ++i) {
+      size_t dst_idx = dep.start + i;
+      size_t src_idx = dep.offset + i;
+      if (dst_idx < out.size() && src_idx < src.size()) {
+        out[dst_idx] = src[src_idx];
+      }
+    }
+  }
+  return out;
+}
+
 WriteSet WriteSetFromLog(const TxLog& log) {
   WriteSet writes;
   writes.reserve(log.latest_writes.size());

@@ -37,6 +37,14 @@ RedoResult RunRedo(TxLog& log, const ConflictMap& conflicts,
 // cross-check the builder against StateView in tests).
 WriteSet WriteSetFromLog(const TxLog& log);
 
+// Rebuilds the receipt's output bytes from the log's return-output provenance
+// (TxLog::return_bytes/return_deps): constant bytes stay as captured,
+// dependent runs are re-sliced from their defining entries' current results.
+// Call after a successful RunRedo; the result then matches what a fresh
+// execution against the patched read values would have returned. Returns the
+// captured bytes unchanged when the log has no return provenance.
+Bytes PatchedReturnOutput(const TxLog& log);
+
 }  // namespace pevm
 
 #endif  // SRC_CORE_REDO_H_

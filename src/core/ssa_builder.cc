@@ -167,6 +167,14 @@ void SsaBuilder::OnFrameEnter(const Message&) {
 
 void SsaBuilder::OnFrameExit(EvmStatus status, uint64_t out_off, BytesView output) {
   std::vector<ByteDef> provenance = Slice(frame().memory, out_off, output.size());
+  if (frames_.size() == 2 && status == EvmStatus::kSuccess && !output.empty()) {
+    // Outermost frame: this output becomes the receipt's. Record it with its
+    // provenance so a redo can rebuild a storage-dependent output from the
+    // patched entries (TxLog::return_bytes docs).
+    log_.return_bytes.assign(output.begin(), output.end());
+    log_.return_deps = CollectDeps(provenance);
+    log_.has_return = true;
+  }
   frames_.pop_back();
   if (frames_.empty()) {
     frames_.emplace_back();  // Defensive; the base frame should remain.

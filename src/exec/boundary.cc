@@ -1,0 +1,59 @@
+#include "src/exec/boundary.h"
+
+#include <utility>
+
+#include "src/core/redo.h"
+
+namespace pevm {
+
+BoundaryOutcome ValidateBoundary(std::vector<std::optional<Speculation>> specs,
+                                 const WorldState& committed) {
+  BoundaryOutcome outcome;
+  outcome.seeds.specs.resize(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i]) {
+      continue;
+    }
+    Speculation& spec = *specs[i];
+    ++outcome.validated;
+    ConflictMap conflicts = FindConflicts(spec.reads, committed);
+    if (conflicts.empty()) {
+      // Every read matches the committed state: the record is the pure
+      // function of the same inputs a fresh speculation would consume.
+      ++outcome.clean;
+      outcome.seeds.specs[i] = std::move(spec);
+      continue;
+    }
+    outcome.stale_keys += conflicts.size();
+    if (spec.log.redoable && spec.receipt.valid) {
+      RedoResult redo = RunRedo(
+          spec.log, conflicts, [&committed](const StateKey& key) { return committed.Get(key); });
+      if (redo.success) {
+        // The guards proved the control path unchanged; make the record
+        // indistinguishable from a fresh speculation against `committed`:
+        // patch the stale reads, rebuild the write set from the patched log,
+        // and re-slice the receipt output from its provenance.
+        for (const auto& [key, value] : conflicts) {
+          spec.reads[key] = value;
+        }
+        spec.writes = std::move(redo.write_set);
+        if (spec.log.has_return) {
+          spec.receipt.output = PatchedReturnOutput(spec.log);
+        }
+        ++outcome.redo_repaired;
+        outcome.seeds.specs[i] = std::move(spec);
+        continue;
+      }
+    }
+    // Unrepairable (guard failure, non-redoable, invalid envelope, or a
+    // kPlain record with no log): forget the early work. The transaction
+    // speculates fresh in-block, exactly as if never launched.
+    ++outcome.dropped;
+    for (const auto& [key, value] : conflicts) {
+      outcome.dropped_keys.push_back(key);
+    }
+  }
+  return outcome;
+}
+
+}  // namespace pevm

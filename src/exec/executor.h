@@ -16,6 +16,15 @@
 
 namespace pevm {
 
+// Per-transaction read-phase mode (also an executor's answer to "what shape
+// of cross-block speculation record can you consume?" — see
+// Executor::seed_mode).
+enum class SpecMode : uint8_t {
+  kSkip,     // Do not speculate (scheduled fallback transactions).
+  kPlain,    // Speculate without an operation log (OCC-style).
+  kWithLog,  // Speculate and generate the SSA operation log.
+};
+
 struct ExecOptions {
   int threads = 16;  // Virtual worker threads (the paper's machine: 8c/16t).
   CostConfig cost;
@@ -146,6 +155,10 @@ struct BlockReport {
 // chain_report.block_reports through this instead of hand-rolling sums.
 BlockReport AggregateBlockReports(const std::vector<BlockReport>& reports);
 
+// Boundary-validated cross-block speculation records, produced by the chain
+// runner's speculation stage (defined in src/exec/pipeline.h).
+struct BoundarySeeds;
+
 class Executor {
  public:
   virtual ~Executor() = default;
@@ -153,6 +166,21 @@ class Executor {
   // Executes the block's transactions in block order against `state`,
   // committing all effects (including the block-end coinbase fee credit).
   virtual BlockReport Execute(const Block& block, WorldState& state) = 0;
+  // Cross-block handoff (src/chain): a speculation stage may have pre-executed
+  // some of this block's transactions against the previous block's uncommitted
+  // overlay and boundary-validated them against `state` (so each engaged seed
+  // is bit-identical to what a fresh speculation would produce). Executors
+  // that can consume seeds override this; the default ignores them and the
+  // block executes exactly as unseeded.
+  virtual BlockReport Execute(const Block& block, WorldState& state, BoundarySeeds* seeds) {
+    (void)seeds;
+    return Execute(block, state);
+  }
+  // The speculation-record shape this executor's read phase consumes — what
+  // the chain's speculation stage must produce for seeds to be bit-identical
+  // to fresh speculation (kWithLog for ParallelEVM, kPlain for OCC). kSkip
+  // means "cannot consume seeds": the chain disables the stage entirely.
+  virtual SpecMode seed_mode() const { return SpecMode::kSkip; }
   // Chain-runner handoff: the executor's simulated-storage front-end, created
   // on demand (nullptr when the wall-clock storage model is disabled). The
   // chain's warm-up stage warms block N+1's predicted access set into this

@@ -42,6 +42,25 @@ ThreadPool& PoolFor(int width) {
   return *slot;
 }
 
+// The one speculation body behind both SpeculateTransaction overloads.
+Speculation SpeculateIntoView(StateView& view, const BlockContext& context,
+                              const Transaction& tx, bool with_log) {
+  Speculation spec;
+  if (with_log) {
+    SsaBuilder builder;
+    spec.receipt = ApplyTransaction(view, context, tx, &builder);
+    if (!spec.receipt.valid) {
+      builder.MarkNotRedoable();
+    }
+    spec.log = builder.TakeLog();
+  } else {
+    spec.receipt = ApplyTransaction(view, context, tx);
+  }
+  spec.reads = view.read_set();
+  spec.writes = view.take_write_set();
+  return spec;
+}
+
 }  // namespace
 
 std::vector<ConflictKeyStats> ConflictAttribution::Sorted() const {
@@ -101,9 +120,14 @@ BlockReport AggregateBlockReports(const std::vector<BlockReport>& reports) {
   return total;
 }
 
+Speculation SpeculateTransaction(const BaseReader& reader, const BlockContext& context,
+                                 const Transaction& tx, bool with_log) {
+  StateView view(reader);
+  return SpeculateIntoView(view, context, tx, with_log);
+}
+
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
                                  const Transaction& tx, bool with_log, SimStore* store) {
-  Speculation spec;
   // StateView is self-referential when it owns its reader, so both variants
   // are constructed in place.
   std::optional<SimStoreReader> reader;
@@ -114,25 +138,13 @@ Speculation SpeculateTransaction(const WorldState& state, const BlockContext& co
   } else {
     view.emplace(state);
   }
-  if (with_log) {
-    SsaBuilder builder;
-    spec.receipt = ApplyTransaction(*view, context, tx, &builder);
-    if (!spec.receipt.valid) {
-      builder.MarkNotRedoable();
-    }
-    spec.log = builder.TakeLog();
-  } else {
-    spec.receipt = ApplyTransaction(*view, context, tx);
-  }
-  spec.reads = view->read_set();
-  spec.writes = view->take_write_set();
-  return spec;
+  return SpeculateIntoView(*view, context, tx, with_log);
 }
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
                        const CostModel& cost, const ExecOptions& options, SimStore* store,
-                       BlockReport& report) {
+                       BlockReport& report, BoundarySeeds* seeds) {
   WallTimer timer;
   size_t n = block.transactions.size();
   PEVM_TRACE_SPAN_ARG("exec.read_phase", "txs", n);
@@ -164,6 +176,16 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
       engine->NotifyStarted(i);
     }
     if (modes[i] == SpecMode::kSkip) {
+      return;
+    }
+    // Boundary-validated cross-block seed: adopt the record instead of
+    // re-speculating. Validation already proved it bit-identical to what the
+    // speculation below would produce, so the deterministic block-order pass
+    // (and everything downstream) cannot tell the difference.
+    if (seeds && i < seeds->specs.size() && seeds->specs[i]) {
+      PEVM_TRACE_SPAN_ARG("exec.adopt_seed", "tx", i);
+      phase.specs[i] = *std::move(seeds->specs[i]);
+      seeds->specs[i].reset();
       return;
     }
     PEVM_TRACE_SPAN_ARG("exec.speculate", "tx", i);
@@ -213,9 +235,9 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
                        StateCache& cache, const CostModel& cost, const ExecOptions& options,
-                       SimStore* store, BlockReport& report) {
+                       SimStore* store, BlockReport& report, BoundarySeeds* seeds) {
   std::vector<SpecMode> modes(block.transactions.size(), mode);
-  return RunReadPhase(block, state, modes, cache, cost, options, store, report);
+  return RunReadPhase(block, state, modes, cache, cost, options, store, report, seeds);
 }
 
 std::vector<PrefetchRequest> BuildPrefetchRequests(const Block& block) {
@@ -315,6 +337,12 @@ uint64_t CommitRedo(Speculation& spec, RedoResult&& redo, size_t conflict_count,
   uint64_t t = redo_ns + cost.CommitCost(redo.write_set.size());
   state.Apply(redo.write_set);
   fees = fees + spec.receipt.fee;
+  if (spec.log.has_return) {
+    // The redo left the defining entries' results patched in place; rebuild a
+    // storage-dependent output (balanceOf, AMM amount_out) to match what a
+    // fresh execution against the repaired reads would have returned.
+    spec.receipt.output = PatchedReturnOutput(spec.log);
+  }
   report.receipts.push_back(std::move(spec.receipt));
   return t;
 }

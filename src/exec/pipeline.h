@@ -15,18 +15,22 @@
 #define SRC_EXEC_PIPELINE_H_
 
 #include <chrono>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "src/core/oplog.h"
 #include "src/core/redo.h"
 #include "src/exec/executor.h"
+#include "src/state/state_view.h"
 
 namespace pevm {
 
 // One transaction's speculative execution against the block-start state: the
 // receipt, the observed read set (validation input), the buffered write set
 // (commit input) and, when requested, the SSA operation log (redo input).
+// (SpecMode, the per-transaction read-phase mode, lives in executor.h so the
+// Executor interface can name its seedable shape.)
 struct Speculation {
   Receipt receipt;
   ReadSet reads;
@@ -34,11 +38,15 @@ struct Speculation {
   TxLog log;
 };
 
-// Per-transaction read-phase mode.
-enum class SpecMode : uint8_t {
-  kSkip,     // Do not speculate (scheduled fallback transactions).
-  kPlain,    // Speculate without an operation log (OCC-style).
-  kWithLog,  // Speculate and generate the SSA operation log.
+// Cross-block speculation hand-off (declared in executor.h): per-transaction
+// speculation records produced against the *previous* block's uncommitted
+// overlay and boundary-validated against the committed state, so each engaged
+// entry is bit-identical to the record a fresh in-block speculation would
+// produce. RunReadPhase consumes engaged entries instead of re-speculating;
+// disengaged entries (not launched, or dropped at the boundary) speculate
+// fresh as usual.
+struct BoundarySeeds {
+  std::vector<std::optional<Speculation>> specs;
 };
 
 // Speculatively executes `tx` against the committed state, buffering all
@@ -48,6 +56,12 @@ enum class SpecMode : uint8_t {
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
                                  const Transaction& tx, bool with_log,
                                  SimStore* store = nullptr);
+
+// As above, but against an arbitrary committed-state reader (the chain's
+// speculation stage passes an overlay view stacking the in-flight block's
+// writes over the committed state). Thread-safety is the reader's contract.
+Speculation SpeculateTransaction(const BaseReader& reader, const BlockContext& context,
+                                 const Transaction& tx, bool with_log);
 
 struct ReadPhase {
   std::vector<Speculation> specs;
@@ -70,15 +84,22 @@ struct ReadPhase {
 // `report`. With `options.external_warmup` a chain runner already warmed the
 // block (and owns residency), so the per-block BeginBlock and the engine are
 // skipped — the deterministic accounting still runs.
+//
+// When `seeds` is set, a transaction with an engaged seed entry adopts that
+// record instead of speculating (its boundary validation already proved it
+// bit-identical to a fresh speculation), skipping the per-transaction
+// storage-latency wait; everything downstream — the deterministic block-order
+// accounting pass included — treats it exactly like a fresh record, so every
+// deterministic BlockReport field is unchanged by seeding.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
                        std::span<const SpecMode> modes, StateCache& cache,
                        const CostModel& cost, const ExecOptions& options, SimStore* store,
-                       BlockReport& report);
+                       BlockReport& report, BoundarySeeds* seeds = nullptr);
 
 // Uniform-mode convenience overload.
 ReadPhase RunReadPhase(const Block& block, const WorldState& state, SpecMode mode,
                        StateCache& cache, const CostModel& cost, const ExecOptions& options,
-                       SimStore* store, BlockReport& report);
+                       SimStore* store, BlockReport& report, BoundarySeeds* seeds = nullptr);
 
 // Builds the per-transaction static access-set predictions (envelope
 // accounts + calldata selector) the PrefetchEngine and AccountPrefetch

@@ -1,0 +1,100 @@
+// Cross-block speculation overlay: a sharded, last-writer-wins view of the
+// in-flight block's uncommitted writes, stacked over a frozen copy of the
+// committed state. The chain runner attaches the overlay to its live
+// WorldState as a StateWriteObserver, so every write the exec thread performs
+// (speculative-buffer commits, redo repairs, fallback re-executions, the
+// coinbase credit) is visible to the concurrent speculation stage the moment
+// it lands.
+//
+// The overlay is grow-only across the run: entries are never cleared when a
+// block commits, because a committed write and its overlay entry hold the
+// same value — the overlay degenerates to a cache of the committed state for
+// untouched keys, which is exactly the fall-through base anyway. This erases
+// the whole overlay-lifecycle problem (no epoch tagging, no clear barrier).
+//
+// Reads through the overlay are *predictions*, not truth: the boundary
+// validation (src/exec/boundary.h) re-checks every speculative read against
+// the final committed state, so a torn view (some of block N's writes, not
+// yet all) can only cost performance, never correctness.
+#ifndef SRC_STATE_SPEC_OVERLAY_H_
+#define SRC_STATE_SPEC_OVERLAY_H_
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "src/state/sim_store.h"
+#include "src/state/state_view.h"
+#include "src/state/world_state.h"
+
+namespace pevm {
+
+// The shared write tap. Thread-safe: the exec thread publishes through
+// OnStateWrite while any number of speculation workers call Lookup.
+class SpecOverlay final : public StateWriteObserver {
+ public:
+  void OnStateWrite(const StateKey& key, const U256& value) override {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.values[key] = value;
+  }
+
+  std::optional<U256> Lookup(const StateKey& key) const {
+    const Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.values.find(key);
+    if (it == shard.values.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<StateKey, U256, StateKeyHash> values;
+  };
+
+  Shard& ShardFor(const StateKey& key) { return shards_[StateKeyHash{}(key) % kShards]; }
+  const Shard& ShardFor(const StateKey& key) const {
+    return shards_[StateKeyHash{}(key) % kShards];
+  }
+
+  Shard shards_[kShards];
+};
+
+// BaseReader the speculation stage hands to SpeculateTransaction: overlay
+// first (free — the value is already in memory on the exec thread's side),
+// then the frozen committed base, paying the simulated storage latency and
+// warming residency exactly like an in-block read would (the warm-up the
+// speculative read performs is real work the successor block then skips).
+class SpecOverlayReader final : public BaseReader {
+ public:
+  // `base` is the frozen pre-run committed state (copied before the overlay
+  // was attached); `store` may be null when the storage model is off.
+  SpecOverlayReader(const SpecOverlay& overlay, const WorldState& base, SimStore* store)
+      : overlay_(&overlay), base_(&base), store_(store) {}
+
+  U256 Read(const StateKey& key) const override {
+    if (std::optional<U256> hit = overlay_->Lookup(key)) {
+      return *hit;
+    }
+    if (store_) {
+      store_->Touch(key);
+    }
+    return base_->Get(key);
+  }
+
+  const Bytes* ReadCode(const Address& a) const override { return base_->GetCode(a); }
+
+ private:
+  const SpecOverlay* overlay_;
+  const WorldState* base_;
+  SimStore* store_;
+};
+
+}  // namespace pevm
+
+#endif  // SRC_STATE_SPEC_OVERLAY_H_

@@ -39,6 +39,9 @@ void WorldState::SetBalance(const Address& a, const U256& v) {
   if (diff_) {
     diff_->emplace_back(StateKey::Balance(a), v);
   }
+  if (observer_) {
+    observer_->OnStateWrite(StateKey::Balance(a), v);
+  }
   accounts_[a].balance = v;
 }
 
@@ -46,12 +49,18 @@ void WorldState::SetNonce(const Address& a, uint64_t n) {
   if (diff_) {
     diff_->emplace_back(StateKey::Nonce(a), U256(n));
   }
+  if (observer_) {
+    observer_->OnStateWrite(StateKey::Nonce(a), U256(n));
+  }
   accounts_[a].nonce = n;
 }
 
 void WorldState::SetStorage(const Address& a, const U256& slot, const U256& v) {
   if (diff_) {
     diff_->emplace_back(StateKey::Storage(a, slot), v);
+  }
+  if (observer_) {
+    observer_->OnStateWrite(StateKey::Storage(a, slot), v);
   }
   if (v.IsZero()) {
     auto it = accounts_.find(a);

@@ -41,6 +41,18 @@ using ReadSet = std::unordered_map<StateKey, U256, StateKeyHash>;
 // BeginDiff/TakeDiff below.
 using StateDiff = std::vector<std::pair<StateKey, U256>>;
 
+// Live mutation tap: every balance/nonce/storage write is mirrored to the
+// observer as it lands (same values the diff journal records). The chain
+// runner's cross-block speculation overlay subscribes so a concurrent
+// speculation stage can see the in-flight block's writes before they commit.
+// Observer methods must be internally synchronized — they run on whatever
+// thread mutates the state.
+class StateWriteObserver {
+ public:
+  virtual ~StateWriteObserver() = default;
+  virtual void OnStateWrite(const StateKey& key, const U256& value) = 0;
+};
+
 class WorldState {
  public:
   // Reads return zero for absent accounts/slots, per EVM semantics.
@@ -70,6 +82,12 @@ class WorldState {
   void BeginDiff();
   StateDiff TakeDiff();
 
+  // Attaches (or, with nullptr, detaches) the live write tap above. At most
+  // one observer; not copied by the implicit copy constructor's member copy
+  // (the pointer is, so detach before copying if that is not wanted — the
+  // chain runner snapshots its frozen speculation base *before* attaching).
+  void SetWriteObserver(StateWriteObserver* observer) { observer_ = observer; }
+
   // Full Merkle Patricia state root (secure trie: keyed by keccak(address) /
   // keccak(slot), account bodies RLP-encoded as [nonce, balance, storageRoot,
   // codeHash]). This is the §6.2 correctness oracle; O(state size), so tests
@@ -97,6 +115,7 @@ class WorldState {
  private:
   std::unordered_map<Address, Account> accounts_;
   std::optional<StateDiff> diff_;  // Engaged while a diff is being recorded.
+  StateWriteObserver* observer_ = nullptr;
 };
 
 // RLP account body [nonce, balance, storageRoot, codeHash] — the leaf payload

@@ -1,16 +1,22 @@
-// Chain-runner battery: the streaming three-stage pipeline must be invisible
-// to results. Per-block state roots out of the incremental committer are
-// bit-identical to a serial per-block from-scratch StateRoot() recomputation
-// for every executor, OS thread count, queue depth and commit-overlap
-// setting; virtual makespans match direct (non-chained) execution; and
-// shutdown — graceful or aborted mid-stream — always leaves a consistent
-// committed prefix.
+// Chain-runner battery: the streaming pipeline (three stages, four with
+// cross-block speculation engaged) must be invisible to results. Per-block
+// state roots out of the incremental committer are bit-identical to a serial
+// per-block from-scratch StateRoot() recomputation for every executor, OS
+// thread count, queue depth, commit-overlap and speculation setting; virtual
+// makespans match direct (non-chained) execution; and shutdown — graceful or
+// aborted mid-stream, speculative block in flight or not — always leaves a
+// consistent committed prefix.
+//
+// Suite names (ChainRunnerTest / ChainShutdownTest / IncrementalStateTrieTest)
+// are load-bearing: CI and scripts/check_tsan.sh select tests by them.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <random>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/chain/chain_runner.h"
@@ -41,32 +47,81 @@ struct Stream {
   std::vector<Hash256> oracle_roots;  // Serial replay, from-scratch roots.
 };
 
-// The oracle: execute the stream one block at a time with the serial executor
-// and recompute the full state root from scratch after every block.
-Stream MakeStream(uint64_t seed, int blocks) {
-  WorkloadGenerator gen(SmallConfig(seed));
-  Stream stream;
-  stream.genesis = gen.MakeGenesis();
-  WorldState state = stream.genesis;
-  std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
-  for (int b = 0; b < blocks; ++b) {
-    stream.blocks.push_back(gen.MakeBlock());
-    oracle->Execute(stream.blocks.back(), state);
-    stream.oracle_roots.push_back(state.StateRoot());
+// Shared seeded-chain fixture: building a Stream is the expensive part of
+// every chain test (serial oracle replay plus a from-scratch state root per
+// block), so streams are memoized by (seed, blocks) and shared. Streams are
+// only ever read after construction, and gtest runs tests in one thread, so
+// the bare map needs no locking.
+class SeededChainTest : public testing::Test {
+ protected:
+  // The oracle: execute the stream one block at a time with the serial
+  // executor and recompute the full state root from scratch after every block.
+  static const Stream& GetStream(uint64_t seed, int blocks) {
+    static auto* cache = new std::map<std::pair<uint64_t, int>, Stream>;
+    auto [it, inserted] = cache->try_emplace({seed, blocks});
+    if (inserted) {
+      WorkloadGenerator gen(SmallConfig(seed));
+      Stream& stream = it->second;
+      stream.genesis = gen.MakeGenesis();
+      WorldState state = stream.genesis;
+      std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
+      for (int b = 0; b < blocks; ++b) {
+        stream.blocks.push_back(gen.MakeBlock());
+        oracle->Execute(stream.blocks.back(), state);
+        stream.oracle_roots.push_back(state.StateRoot());
+      }
+    }
+    return it->second;
   }
-  return stream;
-}
 
-void ExpectRootsMatch(const ChainReport& report, const Stream& stream) {
-  ASSERT_EQ(report.roots.size(), stream.oracle_roots.size());
-  for (size_t b = 0; b < stream.oracle_roots.size(); ++b) {
-    ASSERT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+  static void ExpectRootsMatch(const ChainReport& report, const Stream& stream) {
+    ASSERT_EQ(report.roots.size(), stream.oracle_roots.size());
+    for (size_t b = 0; b < stream.oracle_roots.size(); ++b) {
+      ASSERT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+    }
+    EXPECT_EQ(HexEncode(report.final_root), HexEncode(stream.oracle_roots.back()));
   }
-  EXPECT_EQ(HexEncode(report.final_root), HexEncode(stream.oracle_roots.back()));
-}
 
-TEST(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsBatchesAndQueueDepths) {
-  Stream stream = MakeStream(9100, 5);
+  // Submit the whole stream from a producer thread (small queues block on
+  // backpressure), pull the plug mid-stream, and check the committed prefix
+  // is exactly an oracle prefix. Shared by the plain and the
+  // speculative-block-in-flight abort tests.
+  static void RunAbortMidStream(ChainOptions options, const Stream& stream) {
+    ChainRunner runner(options, stream.genesis);
+    std::atomic<uint64_t> submitted{0};
+    std::thread producer([&] {
+      for (const Block& block : stream.blocks) {
+        if (!runner.Submit(block)) {
+          break;  // Aborted under us: expected.
+        }
+        submitted.fetch_add(1);
+      }
+    });
+    // Let a few blocks flow, then pull the plug mid-stream.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ChainReport report = runner.Abort();
+    producer.join();
+
+    EXPECT_TRUE(report.aborted);
+    EXPECT_LE(report.blocks_committed, report.blocks_executed);
+    EXPECT_LE(report.blocks_executed, submitted.load());
+    // No tearing: exactly the committed blocks have roots, and they form the
+    // same prefix the oracle computes.
+    ASSERT_EQ(report.roots.size(), report.blocks_committed);
+    for (size_t b = 0; b < report.roots.size(); ++b) {
+      EXPECT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
+    }
+    // The stream is dead: submissions bounce, Abort is idempotent.
+    EXPECT_FALSE(runner.Submit(stream.blocks[0]));
+    EXPECT_EQ(runner.Abort().blocks_committed, report.blocks_committed);
+  }
+};
+
+class ChainRunnerTest : public SeededChainTest {};
+class ChainShutdownTest : public SeededChainTest {};
+
+TEST_F(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsBatchesAndQueueDepths) {
+  const Stream& stream = GetStream(9100, 5);
   for (ExecutorKind kind : kAllExecutors) {
     for (int os_threads : {1, 4, 16}) {
       for (bool overlap : {true, false}) {
@@ -105,8 +160,8 @@ TEST(ChainRunnerTest, RootsBitIdenticalAcrossExecutorsThreadsBatchesAndQueueDept
   }
 }
 
-TEST(ChainRunnerTest, VirtualMakespansMatchDirectExecution) {
-  Stream stream = MakeStream(9200, 4);
+TEST_F(ChainRunnerTest, VirtualMakespansMatchDirectExecution) {
+  const Stream& stream = GetStream(9200, 4);
   for (ExecutorKind kind : kAllExecutors) {
     SCOPED_TRACE(ExecutorKindName(kind));
     // Direct, non-pipelined execution is the virtual-time reference.
@@ -134,8 +189,8 @@ TEST(ChainRunnerTest, VirtualMakespansMatchDirectExecution) {
   }
 }
 
-TEST(ChainRunnerTest, StorageSimAndCrossBlockPrefetchKeepRootsIdentical) {
-  Stream stream = MakeStream(9300, 4);
+TEST_F(ChainRunnerTest, StorageSimAndCrossBlockPrefetchKeepRootsIdentical) {
+  const Stream& stream = GetStream(9300, 4);
   ChainOptions options;
   options.executor = ExecutorKind::kParallelEvm;
   options.exec.os_threads = 4;
@@ -156,7 +211,48 @@ TEST(ChainRunnerTest, StorageSimAndCrossBlockPrefetchKeepRootsIdentical) {
   EXPECT_GT(report.warm.busy_ns, 0u);
 }
 
-TEST(ChainRunnerTest, EmptyStreamReportsSeedRoot) {
+// Cross-block speculation under real thread interleaving (this suite runs
+// under TSan via scripts/check_tsan.sh): the spec stage races the exec stage
+// by design — overlay reads tear against concurrent commits — and the
+// boundary must still make every result bit-identical to the spec-off run.
+TEST_F(ChainRunnerTest, SpeculationKeepsRootsAndDeterministicReportsIdentical) {
+  const Stream& stream = GetStream(9700, 6);
+  for (ExecutorKind kind : {ExecutorKind::kParallelEvm, ExecutorKind::kOcc}) {
+    SCOPED_TRACE(ExecutorKindName(kind));
+    std::vector<ChainReport> reports;
+    for (bool speculate : {false, true}) {
+      ChainOptions options;
+      options.executor = kind;
+      options.exec.os_threads = 4;
+      options.queue_depth = 3;
+      options.speculate = speculate;
+      // Storage latency makes the speculative read phase do real waiting, so
+      // the boundary genuinely validates against a moving commit frontier.
+      options.exec.storage.cold_read_ns = 2'000;
+      options.exec.storage.warm_read_ns = 200;
+      ChainRunner runner(options, stream.genesis);
+      for (const Block& block : stream.blocks) {
+        ASSERT_TRUE(runner.Submit(block));
+      }
+      reports.push_back(runner.Finish());
+      ExpectRootsMatch(reports.back(), stream);
+    }
+    const ChainReport& off = reports[0];
+    const ChainReport& on = reports[1];
+    EXPECT_EQ(off.speculation.blocks_speculated, 0u);
+    EXPECT_GT(on.speculation.blocks_speculated, 0u);
+    EXPECT_GT(on.speculation.txs_launched, 0u);
+    ASSERT_EQ(off.block_reports.size(), on.block_reports.size());
+    for (size_t b = 0; b < off.block_reports.size(); ++b) {
+      EXPECT_EQ(off.block_reports[b].makespan_ns, on.block_reports[b].makespan_ns)
+          << "block " << b;
+      EXPECT_EQ(off.block_reports[b].conflicts, on.block_reports[b].conflicts) << "block " << b;
+      ASSERT_EQ(off.block_reports[b].receipts, on.block_reports[b].receipts) << "block " << b;
+    }
+  }
+}
+
+TEST_F(ChainRunnerTest, EmptyStreamReportsSeedRoot) {
   WorkloadGenerator gen(SmallConfig(9400));
   WorldState genesis = gen.MakeGenesis();
   ChainRunner runner(ChainOptions{}, genesis);
@@ -169,39 +265,44 @@ TEST(ChainRunnerTest, EmptyStreamReportsSeedRoot) {
   EXPECT_EQ(runner.Finish().blocks_committed, 0u);
 }
 
-TEST(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
-  std::mt19937_64 rng(4242);
-  auto address_for = [](uint64_t i) {
+// Fixture for the incremental-trie tests: both run the same randomized
+// diff-stream shape (interleaved balance/nonce/storage writes, slot clears —
+// including on absent accounts — and fresh-account creation, journaled
+// exactly as the chain runner journals them) over a seeded world; only the
+// address prefix, rng seed and committer wiring differ per test.
+class IncrementalStateTrieTest : public testing::Test {
+ protected:
+  static constexpr uint64_t kSeededAccounts = 16;
+
+  static Address AddressFor(uint8_t prefix, uint64_t i) {
     std::array<uint8_t, Address::kSize> bytes{};
-    bytes[0] = 0xAB;
+    bytes[0] = prefix;
     for (size_t b = 0; b < 8; ++b) {
       bytes[12 + b] = static_cast<uint8_t>(i >> (8 * b));
     }
     return Address(bytes);
-  };
-
-  // Random genesis: some funded accounts with storage.
-  WorldState state;
-  for (uint64_t i = 0; i < 16; ++i) {
-    state.SetBalance(address_for(i), U256(1'000 + i));
-    if (i % 3 == 0) {
-      state.SetNonce(address_for(i), i);
-    }
-    for (uint64_t s = 0; s < i % 5; ++s) {
-      state.SetStorage(address_for(i), U256(s), U256(100 * i + s));
-    }
   }
-  IncrementalStateTrie trie(state);
-  ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot()));
 
-  // Stream of random "blocks": interleaved balance/nonce/storage writes,
-  // slot clears (including on absent accounts) and fresh-account creation,
-  // journaled exactly as the chain runner journals them.
-  for (int round = 0; round < 50; ++round) {
-    state.BeginDiff();
+  // Random genesis: some funded accounts with storage (and optionally nonces).
+  static WorldState SeedWorld(uint8_t prefix, bool with_nonces) {
+    WorldState state;
+    for (uint64_t i = 0; i < kSeededAccounts; ++i) {
+      state.SetBalance(AddressFor(prefix, i), U256(1'000 + i));
+      if (with_nonces && i % 3 == 0) {
+        state.SetNonce(AddressFor(prefix, i), i);
+      }
+      for (uint64_t s = 0; s < i % 5; ++s) {
+        state.SetStorage(AddressFor(prefix, i), U256(s), U256(100 * i + s));
+      }
+    }
+    return state;
+  }
+
+  // One random "block" of 1..12 interleaved writes into the open diff.
+  static void ApplyRandomWrites(std::mt19937_64& rng, uint8_t prefix, WorldState& state) {
     int writes = 1 + static_cast<int>(rng() % 12);
     for (int w = 0; w < writes; ++w) {
-      Address address = address_for(rng() % 24);  // Indices 16..23 start absent.
+      Address address = AddressFor(prefix, rng() % 24);  // Indices 16..23 start absent.
       switch (rng() % 4) {
         case 0:
           state.SetBalance(address, U256(rng() % 5'000));
@@ -219,6 +320,18 @@ TEST(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
           break;
       }
     }
+  }
+};
+
+TEST_F(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
+  std::mt19937_64 rng(4242);
+  WorldState state = SeedWorld(0xAB, /*with_nonces=*/true);
+  IncrementalStateTrie trie(state);
+  ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot()));
+
+  for (int round = 0; round < 50; ++round) {
+    state.BeginDiff();
+    ApplyRandomWrites(rng, 0xAB, state);
     StateDiff diff = state.TakeDiff();
     trie.ApplyDiff(diff);
     ASSERT_EQ(HexEncode(trie.Root()), HexEncode(state.StateRoot())) << "round " << round;
@@ -231,23 +344,9 @@ TEST(IncrementalStateTrieTest, RandomizedDiffStreamMatchesFromScratchRoots) {
 // Roots must agree every round; the per-block manifest roots both stores
 // record must be the identical sequence even though one sealed 30 singleton
 // batches and the other sealed batches of 3.
-TEST(IncrementalStateTrieTest, ShardParallelBatchedCommitsMatchSerialPerBlockCommits) {
+TEST_F(IncrementalStateTrieTest, ShardParallelBatchedCommitsMatchSerialPerBlockCommits) {
   std::mt19937_64 rng(5353);
-  auto address_for = [](uint64_t i) {
-    std::array<uint8_t, Address::kSize> bytes{};
-    bytes[0] = 0xCD;
-    for (size_t b = 0; b < 8; ++b) {
-      bytes[12 + b] = static_cast<uint8_t>(i >> (8 * b));
-    }
-    return Address(bytes);
-  };
-  WorldState state;
-  for (uint64_t i = 0; i < 16; ++i) {
-    state.SetBalance(address_for(i), U256(1'000 + i));
-    for (uint64_t s = 0; s < i % 5; ++s) {
-      state.SetStorage(address_for(i), U256(s), U256(100 * i + s));
-    }
-  }
+  WorldState state = SeedWorld(0xCD, /*with_nonces=*/false);
 
   InMemoryNodeStore serial_store;
   InMemoryNodeStore batched_store;
@@ -264,24 +363,7 @@ TEST(IncrementalStateTrieTest, ShardParallelBatchedCommitsMatchSerialPerBlockCom
   uint64_t next_batch_first = 0;
   for (int round = 0; round < 30; ++round) {
     state.BeginDiff();
-    int writes = 1 + static_cast<int>(rng() % 12);
-    for (int w = 0; w < writes; ++w) {
-      Address address = address_for(rng() % 24);  // Indices 16..23 start absent.
-      switch (rng() % 4) {
-        case 0:
-          state.SetBalance(address, U256(rng() % 5'000));
-          break;
-        case 1:
-          state.SetNonce(address, rng() % 64);
-          break;
-        case 2:
-          state.SetStorage(address, U256(rng() % 6), U256(1 + rng() % 1'000));
-          break;
-        case 3:
-          state.SetStorage(address, U256(rng() % 6), U256{});
-          break;
-      }
-    }
+    ApplyRandomWrites(rng, 0xCD, state);
     StateDiff diff = state.TakeDiff();
     serial_trie.ApplyDiff(diff);
     batched_trie.ApplyDiff(diff);
@@ -309,44 +391,32 @@ TEST(IncrementalStateTrieTest, ShardParallelBatchedCommitsMatchSerialPerBlockCom
   EXPECT_LE(batched_store.node_count(), serial_store.node_count());
 }
 
-TEST(ChainShutdownTest, AbortMidStreamLeavesConsistentCommittedPrefix) {
-  Stream stream = MakeStream(9500, 12);
+TEST_F(ChainShutdownTest, AbortMidStreamLeavesConsistentCommittedPrefix) {
   ChainOptions options;
   options.executor = ExecutorKind::kParallelEvm;
   options.exec.os_threads = 4;
   options.queue_depth = 2;  // Small queues: the producer blocks on backpressure.
-  ChainRunner runner(options, stream.genesis);
-
-  std::atomic<uint64_t> submitted{0};
-  std::thread producer([&] {
-    for (const Block& block : stream.blocks) {
-      if (!runner.Submit(block)) {
-        break;  // Aborted under us: expected.
-      }
-      submitted.fetch_add(1);
-    }
-  });
-  // Let a few blocks flow, then pull the plug mid-stream.
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  ChainReport report = runner.Abort();
-  producer.join();
-
-  EXPECT_TRUE(report.aborted);
-  EXPECT_LE(report.blocks_committed, report.blocks_executed);
-  EXPECT_LE(report.blocks_executed, submitted.load());
-  // No tearing: exactly the committed blocks have roots, and they form the
-  // same prefix the oracle computes.
-  ASSERT_EQ(report.roots.size(), report.blocks_committed);
-  for (size_t b = 0; b < report.roots.size(); ++b) {
-    EXPECT_EQ(HexEncode(report.roots[b]), HexEncode(stream.oracle_roots[b])) << "block " << b;
-  }
-  // The stream is dead: submissions bounce, Abort is idempotent.
-  EXPECT_FALSE(runner.Submit(stream.blocks[0]));
-  EXPECT_EQ(runner.Abort().blocks_committed, report.blocks_committed);
+  RunAbortMidStream(options, GetStream(9500, 12));
 }
 
-TEST(ChainShutdownTest, DestructorAbortsWithoutDeadlock) {
-  Stream stream = MakeStream(9600, 4);
+// Same plug-pull, but with the speculation stage engaged and slowed by
+// storage latency so the abort almost certainly lands while a speculative
+// block is mid-flight (spec thread blocked in overlay reads or on its
+// queues). The committed prefix must be just as consistent, and shutdown
+// must not hang on the extra stage.
+TEST_F(ChainShutdownTest, AbortWhileSpeculativeBlockInFlight) {
+  ChainOptions options;
+  options.executor = ExecutorKind::kParallelEvm;
+  options.exec.os_threads = 4;
+  options.queue_depth = 2;
+  options.speculate = true;
+  options.exec.storage.cold_read_ns = 50'000;  // >= SimStore's sleep threshold.
+  options.exec.storage.warm_read_ns = 200;
+  RunAbortMidStream(options, GetStream(9500, 12));
+}
+
+TEST_F(ChainShutdownTest, DestructorAbortsWithoutDeadlock) {
+  const Stream& stream = GetStream(9600, 4);
   ChainOptions options;
   options.executor = ExecutorKind::kSerial;
   options.queue_depth = 1;
@@ -356,6 +426,23 @@ TEST(ChainShutdownTest, DestructorAbortsWithoutDeadlock) {
     ASSERT_TRUE(runner.Submit(stream.blocks[1]));
     // Destructor must abort, drain and join on its own.
   }
+}
+
+// Speculation on a serial-executor chain (seed_mode kSkip) must degrade to a
+// no-op rather than start a stage that can never produce seeds.
+TEST_F(ChainShutdownTest, SpeculateFlagIsInertForNonSeedableExecutors) {
+  const Stream& stream = GetStream(9600, 4);
+  ChainOptions options;
+  options.executor = ExecutorKind::kSerial;
+  options.speculate = true;
+  ChainRunner runner(options, stream.genesis);
+  for (const Block& block : stream.blocks) {
+    ASSERT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+  ExpectRootsMatch(report, stream);
+  EXPECT_EQ(report.speculation.blocks_speculated, 0u);
+  EXPECT_EQ(report.spec.blocks, 0u);
 }
 
 }  // namespace
