@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/exec/apply.h"
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 #include "src/telemetry/trace.h"
@@ -190,7 +191,8 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     txs[static_cast<size_t>(fl.task.txn)].abort_penalty = 0;
     MvReader reader(mv, state, store, fl.task.txn);
     StateView view(reader);
-    fl.receipt = ApplyTransaction(view, block.context, tx);
+    fl.receipt = ApplyTransaction(view, block.context, tx, nullptr,
+                                  StaticCodeProvider(options_.code_cache));
     fl.exec_aborted = reader.aborted();
     fl.blocking_txn = reader.blocking_txn();
     fl.reads = reader.TakeReads();
@@ -439,7 +441,7 @@ BlockReport BlockStmExecutor::Execute(const Block& block, WorldState& state) {
     if (!consistent) {
       ++report.full_reexecutions;
       t += FullReexecute(block, static_cast<size_t>(j), state, cache, cost, store, fees,
-                         report);
+                         report, StaticCodeProvider(options_.code_cache));
       continue;
     }
     t += CommitResult(std::move(tx_state.receipt), std::move(tx_state.writes), state, cost,

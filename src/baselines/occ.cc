@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 #include "src/telemetry/trace.h"
 
@@ -45,7 +46,8 @@ BlockReport OccExecutor::Execute(const Block& block, WorldState& state, Boundary
     PEVM_TRACE_INSTANT_ARG("exec.conflict", "tx", i);
     RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options_.code_cache));
   }
   report.conflict_keys = attribution.Sorted();
 

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/exec/apply.h"
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 
@@ -55,7 +56,8 @@ BlockReport SerialExecutor::Execute(const Block& block, WorldState& state) {
     } else {
       view.emplace(state);
     }
-    Receipt receipt = ApplyTransaction(*view, block.context, tx);
+    Receipt receipt = ApplyTransaction(*view, block.context, tx, nullptr,
+                                       StaticCodeProvider(options_.code_cache));
     uint64_t cold = cache.Touch(view->read_set());
     uint64_t warm = TotalReadOps(receipt.stats) - std::min(TotalReadOps(receipt.stats), cold);
     t += cost.ExecutionCost(receipt.stats, cold, warm, /*with_ssa=*/false);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/exec/apply.h"
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 #include "src/state/state_view.h"
 
@@ -66,7 +67,8 @@ BlockReport TwoPhaseLockingExecutor::Execute(const Block& block, WorldState& sta
   U256 fees;
   for (int i = 0; i < n; ++i) {
     StateView view(state);
-    Receipt receipt = ApplyTransaction(view, block.context, block.transactions[static_cast<size_t>(i)]);
+    Receipt receipt = ApplyTransaction(view, block.context, block.transactions[static_cast<size_t>(i)],
+                                       nullptr, StaticCodeProvider(options_.code_cache));
     TxSim& sim = sims[static_cast<size_t>(i)];
     std::unordered_set<StateKey, StateKeyHash> seen;
     for (const StateKey& key : view.read_order()) {

@@ -1,5 +1,7 @@
 #include "src/chain/chain_runner.h"
 
+#include "src/codecache/code_cache.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -252,7 +254,8 @@ void ChainRunner::SpecLoop() {
         }
         PEVM_TRACE_SPAN_ARG("chain.speculate", "tx", i);
         item.spec->specs[i] = SpeculateTransaction(reader, item.block.context,
-                                                   item.block.transactions[i], with_log);
+                                                   item.block.transactions[i], with_log,
+                                                   StaticCodeProvider(options_.exec.code_cache));
       };
       item.spec = std::move(spec);
       spec_pool_->ParallelFor(n, speculate_one);

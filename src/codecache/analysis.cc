@@ -1,0 +1,329 @@
+#include "src/codecache/analysis.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "src/evm/eval.h"
+
+namespace pevm {
+namespace {
+
+// Caps keeping expression programs small and local indices in uint8_t range.
+// Exceeding a cap ends the current segment and starts a fresh one at the
+// offending op — still a pure function of the bytecode.
+constexpr size_t kMaxExprSteps = 64;
+constexpr size_t kMaxSegmentInputs = kMaxSuperInputs;
+constexpr size_t kMaxSimDepth = kMaxSuperOutputs;
+
+// Symbolic value flowing through the analyzer's simulated stack. `size` is
+// the flattened postfix length, tracked at construction so the cap check is
+// O(1) (shared subtrees are re-emitted per reference, so size can grow
+// multiplicatively through DUP chains — exactly what the cap bounds).
+struct Node {
+  enum class Kind : uint8_t { kConst, kInput, kOp };
+  Kind kind = Kind::kConst;
+  U256 imm;                // kConst.
+  uint32_t depth = 0;      // kInput: entry-stack depth (0 = top).
+  Opcode op = Opcode::kInvalid;
+  std::vector<std::shared_ptr<Node>> children;  // kOp, EvalPure order (top first).
+  size_t size = 1;
+};
+
+using NodePtr = std::shared_ptr<Node>;
+
+NodePtr MakeConst(const U256& v) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kConst;
+  n->imm = v;
+  return n;
+}
+
+NodePtr MakeInput(uint32_t depth) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kInput;
+  n->depth = depth;
+  return n;
+}
+
+// Flattens a node tree into a SuperExpr: postfix steps over a compact local
+// input list (first-use order). Children are emitted deepest-operand-first so
+// that evaluation pops them top-operand-first, matching EvalPure.
+void Emit(const Node& node, SuperExpr& expr,
+          std::unordered_map<uint32_t, uint8_t>& local_of_depth) {
+  switch (node.kind) {
+    case Node::Kind::kConst: {
+      SuperStep s;
+      s.kind = SuperStep::Kind::kConst;
+      s.imm = node.imm;
+      expr.steps.push_back(std::move(s));
+      return;
+    }
+    case Node::Kind::kInput: {
+      auto [it, inserted] = local_of_depth.try_emplace(
+          node.depth, static_cast<uint8_t>(expr.input_depths.size()));
+      if (inserted) {
+        expr.input_depths.push_back(static_cast<uint8_t>(node.depth));
+      }
+      SuperStep s;
+      s.kind = SuperStep::Kind::kInput;
+      s.input = it->second;
+      expr.steps.push_back(std::move(s));
+      return;
+    }
+    case Node::Kind::kOp: {
+      for (size_t i = node.children.size(); i-- > 0;) {
+        Emit(*node.children[i], expr, local_of_depth);
+      }
+      SuperStep s;
+      s.kind = SuperStep::Kind::kOp;
+      s.op = node.op;
+      s.arity = static_cast<uint8_t>(node.children.size());
+      expr.steps.push_back(std::move(s));
+      return;
+    }
+  }
+}
+
+std::shared_ptr<const SuperExpr> Flatten(const NodePtr& node) {
+  auto expr = std::make_shared<SuperExpr>();
+  std::unordered_map<uint32_t, uint8_t> local_of_depth;
+  Emit(*node, *expr, local_of_depth);
+  return expr;
+}
+
+// Incremental symbolic execution of one fusible run. The real stack's top
+// region is modeled lazily: popping below the simulated bottom materializes
+// Input(depth) nodes, so `inputs_used` ends up as exactly the deepest
+// entry-stack slot any op touches — which is both pop_depth and the
+// min_height underflow precheck.
+class SegmentBuilder {
+ public:
+  void Reset(uint32_t start_pc) {
+    start_pc_ = start_pc;
+    sim_.clear();
+    inputs_used_ = 0;
+    max_growth_ = 0;
+    total_gas_ = 0;
+    op_count_ = 0;
+  }
+
+  // True if applying `op` would blow a cap (caller ends the segment first).
+  bool WouldOverflow(Opcode op) const {
+    int need = 0;
+    if (IsDup(op)) {
+      need = DupIndex(op);
+    } else if (IsSwap(op)) {
+      need = SwapIndex(op) + 1;
+    } else if (op == Opcode::kPop) {
+      need = 1;
+    } else if (IsPureOp(op)) {
+      need = TraitsOf(op).stack_pops;
+    }
+    size_t materialize = need > static_cast<int>(sim_.size())
+                             ? static_cast<size_t>(need) - sim_.size()
+                             : 0;
+    if (inputs_used_ + materialize > kMaxSegmentInputs) {
+      return true;
+    }
+    if (sim_.size() + 1 > kMaxSimDepth) {
+      return true;
+    }
+    if (IsPureOp(op)) {
+      int arity = TraitsOf(op).stack_pops;
+      size_t size = 1;
+      for (int i = 0; i < arity; ++i) {
+        size_t idx = sim_.size() >= static_cast<size_t>(arity)
+                         ? sim_.size() - 1 - static_cast<size_t>(i)
+                         : SIZE_MAX;
+        size += idx == SIZE_MAX ? 1 : sim_[idx]->size;  // Materialized inputs are size 1.
+      }
+      if (size > kMaxExprSteps) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Apply(Opcode op, const U256& push_imm) {
+    const OpcodeTraits& traits = TraitsOf(op);
+    total_gas_ += traits.const_gas;
+    ++op_count_;
+    if (IsPush(op)) {
+      sim_.push_back(MakeConst(push_imm));
+    } else if (IsDup(op)) {
+      int n = DupIndex(op);
+      EnsureDepth(static_cast<size_t>(n));
+      sim_.push_back(sim_[sim_.size() - static_cast<size_t>(n)]);
+    } else if (IsSwap(op)) {
+      int n = SwapIndex(op);
+      EnsureDepth(static_cast<size_t>(n) + 1);
+      std::swap(sim_[sim_.size() - 1], sim_[sim_.size() - 1 - static_cast<size_t>(n)]);
+    } else if (op == Opcode::kPop) {
+      EnsureDepth(1);
+      sim_.pop_back();
+    } else {
+      int arity = traits.stack_pops;
+      EnsureDepth(static_cast<size_t>(arity));
+      std::vector<NodePtr> children(static_cast<size_t>(arity));
+      bool all_const = true;
+      for (int i = 0; i < arity; ++i) {
+        children[static_cast<size_t>(i)] = sim_.back();
+        sim_.pop_back();
+        all_const &= children[static_cast<size_t>(i)]->kind == Node::Kind::kConst;
+      }
+      if (all_const) {
+        // Analysis-time constant folding: mirrors both the per-op
+        // interpreter's result and the SSA builder's fold-to-no-entry.
+        std::vector<U256> ops(children.size());
+        for (size_t i = 0; i < children.size(); ++i) {
+          ops[i] = children[i]->imm;
+        }
+        sim_.push_back(MakeConst(EvalPure(op, ops)));
+      } else {
+        auto node = std::make_shared<Node>();
+        node->kind = Node::Kind::kOp;
+        node->op = op;
+        node->size = 1;
+        for (const NodePtr& c : children) {
+          node->size += c->size;
+        }
+        node->children = std::move(children);
+        sim_.push_back(std::move(node));
+      }
+    }
+    int32_t delta = static_cast<int32_t>(sim_.size()) - static_cast<int32_t>(inputs_used_);
+    max_growth_ = std::max(max_growth_, delta);
+  }
+
+  // Finalizes the run [start_pc_, end_pc) into a segment; returns false for
+  // runs too short to be worth a fat op.
+  bool Finish(uint32_t end_pc, SuperSegment& out) const {
+    if (op_count_ < 2) {
+      return false;
+    }
+    out.start_pc = start_pc_;
+    out.end_pc = end_pc;
+    out.op_count = op_count_;
+    out.total_gas = total_gas_;
+    out.min_height = static_cast<uint32_t>(inputs_used_);
+    out.pop_depth = static_cast<uint32_t>(inputs_used_);
+    out.max_growth = max_growth_;
+    out.outputs.reserve(sim_.size());
+    std::unordered_map<const Node*, std::shared_ptr<const SuperExpr>> memo;
+    for (const NodePtr& node : sim_) {  // Bottom-first (push order).
+      auto it = memo.find(node.get());
+      if (it == memo.end()) {
+        it = memo.emplace(node.get(), Flatten(node)).first;
+      }
+      out.outputs.push_back(it->second);
+    }
+    return true;
+  }
+
+  uint32_t op_count() const { return op_count_; }
+
+ private:
+  void EnsureDepth(size_t n) {
+    while (sim_.size() < n) {
+      sim_.insert(sim_.begin(), MakeInput(static_cast<uint32_t>(inputs_used_)));
+      ++inputs_used_;
+    }
+  }
+
+  uint32_t start_pc_ = 0;
+  std::vector<NodePtr> sim_;
+  size_t inputs_used_ = 0;
+  int32_t max_growth_ = 0;
+  int64_t total_gas_ = 0;
+  uint32_t op_count_ = 0;
+};
+
+U256 PushImmediate(const Bytes& code, size_t pc, int n) {
+  Bytes imm(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    size_t idx = pc + 1 + static_cast<size_t>(i);
+    imm[static_cast<size_t>(i)] = idx < code.size() ? code[idx] : 0;
+  }
+  return U256::FromBigEndian(imm);
+}
+
+}  // namespace
+
+std::shared_ptr<CodeAnalysis> AnalyzeCode(const Bytes& code, const Hash256& hash, bool fuse) {
+  auto analysis = std::make_shared<CodeAnalysis>();
+  analysis->hash = hash;
+  analysis->code_size = code.size();
+  analysis->jumpdests.assign(code.size(), false);
+  analysis->segment_at.assign(code.size(), -1);
+
+  for (size_t i = 0; i < code.size(); ++i) {
+    Opcode op = static_cast<Opcode>(code[i]);
+    if (op == Opcode::kJumpdest) {
+      analysis->jumpdests[i] = true;
+    } else if (IsPush(op)) {
+      i += static_cast<size_t>(PushSize(op));
+    }
+  }
+  if (!fuse) {
+    return analysis;
+  }
+
+  SegmentBuilder builder;
+  bool in_run = false;
+  auto finish = [&](size_t end_pc) {
+    if (!in_run) {
+      return;
+    }
+    SuperSegment seg;
+    if (builder.Finish(static_cast<uint32_t>(end_pc), seg)) {
+      analysis->segment_at[seg.start_pc] = static_cast<int32_t>(analysis->segments.size());
+      analysis->segments.push_back(std::move(seg));
+    }
+    in_run = false;
+  };
+
+  for (size_t pc = 0; pc < code.size();) {
+    Opcode op = static_cast<Opcode>(code[pc]);
+    size_t next = pc + 1 + (IsPush(op) ? static_cast<size_t>(PushSize(op)) : 0);
+    if (!IsFusibleOp(op)) {
+      finish(pc);
+      pc = next;
+      continue;
+    }
+    if (in_run && builder.WouldOverflow(op)) {
+      finish(pc);
+    }
+    if (!in_run) {
+      builder.Reset(static_cast<uint32_t>(pc));
+      in_run = true;
+    }
+    builder.Apply(op, IsPush(op) ? PushImmediate(code, pc, PushSize(op)) : U256{});
+    pc = next;
+  }
+  finish(code.size());
+  return analysis;
+}
+
+std::shared_ptr<const DecodedProgram> BuildDecodedProgram(const Bytes& code,
+                                                          const CodeAnalysis& analysis) {
+  auto program = std::make_shared<DecodedProgram>();
+  program->at.resize(code.size());
+  for (size_t pc = 0; pc < code.size();) {
+    Opcode op = static_cast<Opcode>(code[pc]);
+    DecodedInsn& insn = program->at[pc];
+    insn.op = op;
+    insn.segment = analysis.segment_at[pc];
+    size_t next = pc + 1;
+    if (IsPush(op)) {
+      int n = PushSize(op);
+      insn.immediate = PushImmediate(code, pc, n);
+      next = pc + 1 + static_cast<size_t>(n);
+    }
+    insn.next_pc = static_cast<uint32_t>(next);
+    pc = next;
+  }
+  return program;
+}
+
+}  // namespace pevm

@@ -1,0 +1,34 @@
+// Tier-0 bytecode analysis: JUMPDEST bitmap, fused straight-line segments
+// with static precheck metadata, and per-output expression programs. A pure
+// function of (code, fuse) — see program.h for why it must not depend on
+// anything else.
+#ifndef SRC_CODECACHE_ANALYSIS_H_
+#define SRC_CODECACHE_ANALYSIS_H_
+
+#include <memory>
+
+#include "src/codecache/program.h"
+#include "src/support/bytes.h"
+
+namespace pevm {
+
+// True if `op` may be part of a fused segment: stack shuffles and pure
+// data-flow ops with constant gas and no environment access. EXP is excluded
+// (dynamic per-byte gas would break the static gas precheck), as is every op
+// that touches storage, memory, calldata, control flow or frames.
+constexpr bool IsFusibleOp(Opcode op) {
+  return IsPush(op) || IsDup(op) || IsSwap(op) || op == Opcode::kPop ||
+         (IsPureOp(op) && op != Opcode::kExp);
+}
+
+// Analyzes `code`. With fuse == false the segment tables are empty and only
+// the JUMPDEST bitmap is populated. `hash` is stored in the result verbatim.
+std::shared_ptr<CodeAnalysis> AnalyzeCode(const Bytes& code, const Hash256& hash, bool fuse);
+
+// Builds the tier-1 pre-decoded dispatch table for an analyzed code blob.
+std::shared_ptr<const DecodedProgram> BuildDecodedProgram(const Bytes& code,
+                                                          const CodeAnalysis& analysis);
+
+}  // namespace pevm
+
+#endif  // SRC_CODECACHE_ANALYSIS_H_

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/core/redo.h"
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 #include "src/telemetry/trace.h"
 
@@ -66,7 +67,8 @@ BlockReport ParallelEvmExecutor::Execute(const Block& block, WorldState& state,
       t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options_.code_cache));
   }
   report.conflict_keys = attribution.Sorted();
 

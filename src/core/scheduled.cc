@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/redo.h"
+#include "src/codecache/code_cache.h"
 #include "src/exec/pipeline.h"
 
 namespace pevm {
@@ -74,7 +75,8 @@ ProposalResult ProposeBlock(const Block& block, WorldState& state, const ExecOpt
       t += ChargeFailedRedo(redo, conflicts.size(), cost, report);
     }
     ++report.full_reexecutions;
-    t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+    t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options.code_cache));
   }
   report.conflict_keys = attribution.Sorted();
   CreditCoinbase(state, block.context.coinbase, fees);
@@ -136,7 +138,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
         // that never materialized has no keys to blame.
         RecordConflicts(conflicts, ConflictOutcome::kFallback, attribution);
         ++report.full_reexecutions;
-        t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+        t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options.code_cache));
         continue;
       }
     }
@@ -156,7 +159,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
         if (!redo.success) {
           // Deterministic proposers never hit this; repair serially anyway.
           ++report.full_reexecutions;
-          t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+          t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options.code_cache));
           break;
         }
         t += CommitRedo(spec, std::move(redo), conflicts.size(), state, cost, fees, report);
@@ -164,7 +168,8 @@ BlockReport ExecuteWithSchedule(const Block& block, const BlockSchedule& schedul
       }
       case TxSchedule::Plan::kFallback: {
         ++report.full_reexecutions;
-        t += FullReexecute(block, i, state, cache, cost, store, fees, report);
+        t += FullReexecute(block, i, state, cache, cost, store, fees, report,
+                       StaticCodeProvider(options.code_cache));
         break;
       }
     }

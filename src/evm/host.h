@@ -21,6 +21,12 @@ class Host {
   virtual uint64_t GetNonce(const Address& a) = 0;
   virtual void SetNonce(const Address& a, uint64_t n) = 0;
   virtual const Bytes* GetCode(const Address& a) = 0;
+  // Precomputed code hash, or nullptr when the host doesn't track one (the
+  // code cache then hashes the bytes itself — a perf hint, never semantics).
+  virtual const Hash256* GetCodeHash(const Address& a) {
+    (void)a;
+    return nullptr;
+  }
 
   // Overlay snapshots for inner-call revert.
   virtual size_t Snapshot() = 0;
@@ -46,6 +52,7 @@ class StateViewHost final : public Host {
   uint64_t GetNonce(const Address& a) override { return view_->GetNonce(a); }
   void SetNonce(const Address& a, uint64_t n) override { view_->SetNonce(a, n); }
   const Bytes* GetCode(const Address& a) override { return view_->GetCode(a); }
+  const Hash256* GetCodeHash(const Address& a) override { return view_->GetCodeHash(a); }
   size_t Snapshot() override { return view_->Snapshot(); }
   void RevertToSnapshot(size_t snapshot) override { view_->RevertToSnapshot(snapshot); }
   bool ShouldAbortExecution() const override { return view_->base_aborted(); }

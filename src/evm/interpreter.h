@@ -6,9 +6,9 @@
 #ifndef SRC_EVM_INTERPRETER_H_
 #define SRC_EVM_INTERPRETER_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "src/codecache/program.h"
 #include "src/evm/evm_types.h"
 #include "src/evm/host.h"
 #include "src/evm/tracer.h"
@@ -20,10 +20,22 @@ inline constexpr size_t kMaxStack = 1024;
 
 class Interpreter {
  public:
-  // `tracer` may be null. All references must outlive the interpreter.
+  // `tracer` and `provider` may be null. All references must outlive the
+  // interpreter. With a provider, frames run against the cached per-code-hash
+  // analysis: JUMPDEST lookups hit the shared bitmap, straight-line fusible
+  // runs execute as superinstructions (when the tracer opts in via
+  // WantsSuperOps — or there is no tracer), and tier-1-promoted code uses the
+  // pre-decoded dispatch table. Without a provider every frame lazily builds
+  // its own JUMPDEST map and dispatch is per-op — identical results either
+  // way.
   Interpreter(Host& host, const BlockContext& block, const TxContext& tx,
-              Tracer* tracer = nullptr)
-      : host_(&host), block_(&block), tx_(&tx), tracer_(tracer) {}
+              Tracer* tracer = nullptr, CodeProvider* provider = nullptr)
+      : host_(&host),
+        block_(&block),
+        tx_(&tx),
+        tracer_(tracer),
+        provider_(provider),
+        fuse_ok_(tracer == nullptr || tracer->WantsSuperOps()) {}
 
   // Executes a message call against the host. Exceptional halts consume all
   // frame gas; kRevert returns remaining gas and the revert payload.
@@ -40,16 +52,21 @@ class Interpreter {
   // exceptional halt of the *caller* frame (bad operands / OOG).
   bool DoCall(Frame& frame, Opcode op);
 
-  const std::vector<bool>& JumpdestMap(const Bytes& code);
+  // Executes one fused segment whose static precheck passed: charges
+  // total_gas, pops pop_depth entries, pushes the output expressions' values,
+  // fires one OnSuperOp.
+  void RunSegment(Frame& frame, const SuperSegment& seg);
+
+  const std::vector<bool>& Jumpdests(Frame& frame);
 
   Host* host_;
   const BlockContext* block_;
   const TxContext* tx_;
   Tracer* tracer_;
+  CodeProvider* provider_;
+  // The attached tracer understands fused-segment events (no tracer counts).
+  bool fuse_ok_;
   ExecStats stats_;
-  // JUMPDEST bitmaps keyed by code identity (code storage is stable for the
-  // lifetime of a block execution).
-  std::unordered_map<const uint8_t*, std::vector<bool>> jumpdest_cache_;
 };
 
 }  // namespace pevm

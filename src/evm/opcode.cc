@@ -126,6 +126,7 @@ Table BuildTable() {
   t.Def(Opcode::kDebit, "DEBIT", 2, 1, 0);
   t.Def(Opcode::kCredit, "CREDIT", 2, 1, 0);
   t.Def(Opcode::kNonceBump, "NONCE_BUMP", 1, 1, 0);
+  t.Def(Opcode::kSuperOp, "SUPER_OP", 0, 1, 0);
   t.Def(Opcode::kAssertEq, "ASSERT_EQ", 1, 0, 0);
   t.Def(Opcode::kAssertGe, "ASSERT_GE", 2, 0, 0);
   return t;

@@ -118,6 +118,7 @@ enum class Opcode : uint8_t {
   kDebit = 0xe1,          // balance -= amount
   kCredit = 0xe2,         // balance += amount
   kNonceBump = 0xe3,      // nonce += 1
+  kSuperOp = 0xe4,        // Fused superinstruction output (postfix expr program).
   kAssertEq = 0xe8,       // Constraint guard: value must equal def's result.
   kAssertGe = 0xe9,       // Constraint guard: def's result must be >= bound.
 };

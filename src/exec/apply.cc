@@ -14,7 +14,7 @@ int64_t IntrinsicGas(const Transaction& tx) {
 }
 
 Receipt ApplyTransaction(StateView& view, const BlockContext& block, const Transaction& tx,
-                         Tracer* tracer) {
+                         Tracer* tracer, CodeProvider* provider) {
   Receipt receipt;
 
   // 1. Nonce check. The observed nonce is recorded in the read set either
@@ -66,7 +66,7 @@ Receipt ApplyTransaction(StateView& view, const BlockContext& block, const Trans
 
   TxContext tx_ctx{tx.from, tx.gas_price};
   StateViewHost host(view);
-  Interpreter interp(host, block, tx_ctx, tracer);
+  Interpreter interp(host, block, tx_ctx, tracer, provider);
   Message msg;
   msg.call_kind = Opcode::kCall;
   msg.code_address = tx.to;

@@ -11,6 +11,7 @@
 #ifndef SRC_EXEC_APPLY_H_
 #define SRC_EXEC_APPLY_H_
 
+#include "src/codecache/program.h"
 #include "src/evm/tracer.h"
 #include "src/exec/types.h"
 #include "src/state/state_view.h"
@@ -24,9 +25,11 @@ inline constexpr int64_t kTxDataNonZeroGas = 16;
 int64_t IntrinsicGas(const Transaction& tx);
 
 // Executes `tx` against `view`, buffering all writes in the view. `tracer`
-// may be null.
+// may be null. `provider` (the code cache, may be null) only affects wall
+// clock unless the tracer opts into superinstruction events — see
+// src/codecache/program.h for the inertness contract.
 Receipt ApplyTransaction(StateView& view, const BlockContext& block, const Transaction& tx,
-                         Tracer* tracer = nullptr);
+                         Tracer* tracer = nullptr, CodeProvider* provider = nullptr);
 
 }  // namespace pevm
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "src/codecache/code_cache.h"
 #include "src/core/ssa_builder.h"
 #include "src/exec/apply.h"
 #include "src/exec/thread_pool.h"
@@ -44,17 +45,22 @@ ThreadPool& PoolFor(int width) {
 
 // The one speculation body behind both SpeculateTransaction overloads.
 Speculation SpeculateIntoView(StateView& view, const BlockContext& context,
-                              const Transaction& tx, bool with_log) {
+                              const Transaction& tx, bool with_log, CodeProvider* provider) {
   Speculation spec;
   if (with_log) {
-    SsaBuilder builder;
-    spec.receipt = ApplyTransaction(view, context, tx, &builder);
+    // Log granularity follows the provider: a fusing provider means
+    // superinstruction logging (deferred expressions folded into consuming
+    // entries); no provider (kOff) or fuse=false keeps the per-op baseline.
+    SsaBuilder::Options builder_options;
+    builder_options.superinstruction_log = provider != nullptr && provider->fused();
+    SsaBuilder builder(builder_options);
+    spec.receipt = ApplyTransaction(view, context, tx, &builder, provider);
     if (!spec.receipt.valid) {
       builder.MarkNotRedoable();
     }
     spec.log = builder.TakeLog();
   } else {
-    spec.receipt = ApplyTransaction(view, context, tx);
+    spec.receipt = ApplyTransaction(view, context, tx, nullptr, provider);
   }
   spec.reads = view.read_set();
   spec.writes = view.take_write_set();
@@ -121,13 +127,14 @@ BlockReport AggregateBlockReports(const std::vector<BlockReport>& reports) {
 }
 
 Speculation SpeculateTransaction(const BaseReader& reader, const BlockContext& context,
-                                 const Transaction& tx, bool with_log) {
+                                 const Transaction& tx, bool with_log, CodeProvider* provider) {
   StateView view(reader);
-  return SpeculateIntoView(view, context, tx, with_log);
+  return SpeculateIntoView(view, context, tx, with_log, provider);
 }
 
 Speculation SpeculateTransaction(const WorldState& state, const BlockContext& context,
-                                 const Transaction& tx, bool with_log, SimStore* store) {
+                                 const Transaction& tx, bool with_log, SimStore* store,
+                                 CodeProvider* provider) {
   // StateView is self-referential when it owns its reader, so both variants
   // are constructed in place.
   std::optional<SimStoreReader> reader;
@@ -138,7 +145,7 @@ Speculation SpeculateTransaction(const WorldState& state, const BlockContext& co
   } else {
     view.emplace(state);
   }
-  return SpeculateIntoView(*view, context, tx, with_log);
+  return SpeculateIntoView(*view, context, tx, with_log, provider);
 }
 
 ReadPhase RunReadPhase(const Block& block, const WorldState& state,
@@ -151,6 +158,12 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
   ReadPhase phase;
   phase.specs.resize(n);
   phase.durations.assign(n, 0);
+
+  // Code-cache provider for this read phase. kPerBlock owns a fresh cache for
+  // the duration of this call — safe even though oplogs outlive it, because
+  // log entries hold their fused expressions by shared_ptr.
+  std::unique_ptr<CodeCache> per_block_cache;
+  CodeProvider* provider = ResolveCodeProvider(options.code_cache, per_block_cache);
 
   if (store && !options.external_warmup) {
     store->BeginBlock();
@@ -190,7 +203,7 @@ ReadPhase RunReadPhase(const Block& block, const WorldState& state,
     }
     PEVM_TRACE_SPAN_ARG("exec.speculate", "tx", i);
     phase.specs[i] = SpeculateTransaction(state, block.context, block.transactions[i],
-                                          modes[i] == SpecMode::kWithLog, store);
+                                          modes[i] == SpecMode::kWithLog, store, provider);
   };
   int width = ThreadPool::ResolveWidth(options.os_threads);
   if (width <= 1 || n <= 1) {
@@ -355,8 +368,8 @@ uint64_t ChargeFailedRedo(const RedoResult& redo, size_t conflict_count, const C
 }
 
 uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCache& cache,
-                       const CostModel& cost, SimStore* store, U256& fees,
-                       BlockReport& report) {
+                       const CostModel& cost, SimStore* store, U256& fees, BlockReport& report,
+                       CodeProvider* provider) {
   PEVM_TRACE_SPAN_ARG("exec.fallback", "tx", i);
   std::optional<SimStoreReader> reader;
   std::optional<StateView> view;
@@ -366,7 +379,8 @@ uint64_t FullReexecute(const Block& block, size_t i, WorldState& state, StateCac
   } else {
     view.emplace(state);
   }
-  Receipt receipt = ApplyTransaction(*view, block.context, block.transactions[i]);
+  Receipt receipt = ApplyTransaction(*view, block.context, block.transactions[i], nullptr,
+                                     provider);
   uint64_t total_reads = TotalReadOps(receipt.stats);
   uint64_t cold = std::min(cache.Touch(view->read_set()), total_reads);
   uint64_t t = cost.ExecutionCost(receipt.stats, cold, total_reads - cold, /*with_ssa=*/false);

@@ -89,6 +89,11 @@ class SpecOverlayReader final : public BaseReader {
 
   const Bytes* ReadCode(const Address& a) const override { return base_->GetCode(a); }
 
+  // Code hashes let the speculation stage hit the shared code cache instead
+  // of re-hashing the bytecode per call. Perf-only: a null hash makes the
+  // provider keccak the code itself, with identical results.
+  const Hash256* ReadCodeHash(const Address& a) const override { return base_->GetCodeHash(a); }
+
  private:
   const SpecOverlay* overlay_;
   const WorldState* base_;

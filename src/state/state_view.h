@@ -24,6 +24,12 @@ class BaseReader {
   virtual ~BaseReader() = default;
   virtual U256 Read(const StateKey& key) const = 0;
   virtual const Bytes* ReadCode(const Address& a) const = 0;
+  // Precomputed code hash when the backing store tracks one; nullptr is
+  // always safe (the code cache hashes the bytes itself).
+  virtual const Hash256* ReadCodeHash(const Address& a) const {
+    (void)a;
+    return nullptr;
+  }
   virtual bool ShouldAbort() const { return false; }
 };
 
@@ -32,6 +38,7 @@ class WorldStateReader final : public BaseReader {
   explicit WorldStateReader(const WorldState& state) : state_(&state) {}
   U256 Read(const StateKey& key) const override { return state_->Get(key); }
   const Bytes* ReadCode(const Address& a) const override { return state_->GetCode(a); }
+  const Hash256* ReadCodeHash(const Address& a) const override { return state_->GetCodeHash(a); }
 
  private:
   const WorldState* state_;
@@ -61,6 +68,7 @@ class StateView {
   // Code is immutable in this system (no CREATE in the workloads), so code
   // reads bypass the read set.
   const Bytes* GetCode(const Address& a) const { return base_->ReadCode(a); }
+  const Hash256* GetCodeHash(const Address& a) const { return base_->ReadCodeHash(a); }
 
   // True once a base read hit an unresolved dependency (Block-STM ESTIMATE).
   bool base_aborted() const { return base_->ShouldAbort(); }

@@ -74,7 +74,18 @@ void WorldState::SetStorage(const Address& a, const U256& slot, const U256& v) {
 
 void WorldState::SetCode(const Address& a, Bytes code) {
   assert(!diff_ && "code writes are not journalable (deployment is genesis-only)");
-  accounts_[a].code = std::move(code);
+  Account& account = accounts_[a];
+  account.code = std::move(code);
+  if (account.code.empty()) {
+    code_hashes_.erase(a);
+  } else {
+    code_hashes_[a] = Keccak256(account.code);
+  }
+}
+
+const Hash256* WorldState::GetCodeHash(const Address& a) const {
+  auto it = code_hashes_.find(a);
+  return it == code_hashes_.end() ? nullptr : &it->second;
 }
 
 void WorldState::BeginDiff() { diff_.emplace(); }

@@ -60,6 +60,9 @@ class WorldState {
   uint64_t GetNonce(const Address& a) const;
   U256 GetStorage(const Address& a, const U256& slot) const;
   const Bytes* GetCode(const Address& a) const;  // nullptr if no code.
+  // Keccak of the account's code, precomputed by SetCode; nullptr if no code.
+  // Lets the code cache key lookups without rehashing hot bytecode.
+  const Hash256* GetCodeHash(const Address& a) const;
 
   void SetBalance(const Address& a, const U256& v);
   void SetNonce(const Address& a, uint64_t n);
@@ -114,6 +117,9 @@ class WorldState {
 
  private:
   std::unordered_map<Address, Account> accounts_;
+  // Derived data (keyed off the immutable code), kept out of Account so
+  // structural equality stays a pure state compare.
+  std::unordered_map<Address, Hash256> code_hashes_;
   std::optional<StateDiff> diff_;  // Engaged while a diff is being recorded.
   StateWriteObserver* observer_ = nullptr;
 };

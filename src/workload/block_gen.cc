@@ -33,7 +33,9 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
       rng_(config.seed),
       token_zipf_(static_cast<uint64_t>(config.tokens), config.token_zipf_s),
       user_zipf_(static_cast<uint64_t>(config.users), config.user_zipf_s),
-      pool_zipf_(static_cast<uint64_t>(config.pools), config.pool_zipf_s) {}
+      pool_zipf_(static_cast<uint64_t>(config.pools), config.pool_zipf_s),
+      contract_zipf_(static_cast<uint64_t>(config.tokens + config.pools + config.funds),
+                     config.contract_zipf_s) {}
 
 Address WorkloadGenerator::TokenAddress(int i) const {
   return Address::FromId(kTokenBase + static_cast<uint64_t>(i));
@@ -233,6 +235,36 @@ Block WorkloadGenerator::MakeBlock() {
       }
     } else {
       block.transactions.push_back(MakeNativeTransfer(sender, receiver));
+    }
+  }
+  return block;
+}
+
+Block WorkloadGenerator::MakeHotContractBlock(int transactions) {
+  Block block;
+  block.context.number = U256(block_number_);
+  block.context.timestamp = U256(block_number_ * 12);
+  block.context.coinbase = Address::FromId(0xC0FFEE);
+  block.context.base_fee = U256(1'000'000'000ULL);
+  block.context.prevrandao = U256(block_number_ * 0x9e3779b97f4a7c15ULL);
+  ++block_number_;
+
+  for (int j = 0; j < transactions; ++j) {
+    // One unified hotness ranking across every deployed contract, pools
+    // first: the hottest mainnet contracts by call volume are the top DEX
+    // pools (DEX traffic concentrates hard on the top pools), so the head of
+    // the Zipf ranking maps to the AMM deployments, then the ERC-20 tokens,
+    // then the long-tail crowdfund contracts.
+    int rank = static_cast<int>(contract_zipf_(rng_) - 1);
+    int sender = static_cast<int>(rng_() % static_cast<uint64_t>(config_.users));
+    if (rank < config_.pools) {
+      block.transactions.push_back(MakeAmmSwap(rank, sender));
+    } else if (rank < config_.pools + config_.tokens) {
+      block.transactions.push_back(
+          MakeErc20Transfer(rank - config_.pools, sender, SampleUser(), /*failing=*/false));
+    } else {
+      block.transactions.push_back(
+          MakeContribute(rank - config_.pools - config_.tokens, sender));
     }
   }
   return block;

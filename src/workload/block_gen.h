@@ -36,6 +36,11 @@ struct WorkloadConfig {
   double user_zipf_s = 1.2;
   // DEX traffic concentrates hard on the top pools (WETH/stable pairs).
   double pool_zipf_s = 2.0;
+  // Skew of the *unified* contract ranking (tokens ∪ pools ∪ funds) used by
+  // MakeHotContractBlock: s ≈ 1 reproduces the paper's hot-contract
+  // concentration over the whole deployed set, the regime the code cache's
+  // hit rate and tier-1 promotion are measured against.
+  double contract_zipf_s = 1.0;
 
   // Transaction mix (fractions; remainder goes to native transfers).
   // DEX-era mainnet: swaps are a third of the gas, ERC-20 traffic most of
@@ -66,6 +71,14 @@ class WorkloadGenerator {
   // `conflict_ratio` of them drain the same owner account (all conflicting on
   // balances[A], paper §3.2) and the rest touch disjoint accounts.
   Block MakeErc20ConflictBlock(int transactions, double conflict_ratio);
+
+  // Code-cache workload: every transaction targets a contract drawn from one
+  // Zipfian ranking over the whole deployed set (tokens, then pools, then
+  // funds, hottest-first by rank), with the call shape implied by the
+  // contract's kind. With contract_zipf_s ≈ 1 a handful of code hashes absorb
+  // most invocations — the distribution the per-code-hash analysis cache and
+  // its promotion threshold are designed for.
+  Block MakeHotContractBlock(int transactions);
 
   const WorkloadConfig& config() const { return config_; }
 
@@ -103,6 +116,7 @@ class WorkloadGenerator {
   ZipfDistribution token_zipf_;
   ZipfDistribution user_zipf_;
   ZipfDistribution pool_zipf_;
+  ZipfDistribution contract_zipf_;
   std::unordered_map<Address, uint64_t> nonces_;
   uint64_t block_number_ = 14'000'000;
 };

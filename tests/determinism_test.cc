@@ -191,6 +191,23 @@ TEST_F(DeterminismTest, PrefetchDepthIsInvisibleInResults) {
   }
 }
 
+// The code cache joins the determinism contract: every provider-backed mode
+// (shared, per-block, uncached) must satisfy the full ExpectSameReport
+// comparison — oplog_entries and redo counters included — at every OS-thread
+// count, because tier-0 analysis is a pure function of the bytecode and the
+// log granularity it implies never depends on cache residency.
+TEST_F(DeterminismTest, CodeCacheModeIsOsThreadCountInvariant) {
+  for (CodeCacheMode mode :
+       {CodeCacheMode::kShared, CodeCacheMode::kPerBlock, CodeCacheMode::kUncached}) {
+    ExpectThreadCountInvisible([mode](const Block& block, WorldState& state,
+                                      const ExecOptions& options) {
+      ExecOptions o = options;
+      o.code_cache.mode = mode;
+      return ParallelEvmExecutor(o).Execute(block, state);
+    });
+  }
+}
+
 TEST_F(DeterminismTest, ProposerIsOsThreadCountInvariant) {
   ExpectThreadCountInvisible([](const Block& block, WorldState& state,
                                 const ExecOptions& options) {
