@@ -1,0 +1,294 @@
+// Query-serving bench (BENCH_query.json): the concurrent read-only tier
+// answering eth-API traffic off root-pinned snapshots while the chain
+// pipeline executes and commits the same stream.
+//
+// Three measurements per serving-thread count:
+//   - qps: read queries answered per second of engine wall clock;
+//   - serving latency percentiles (p50/p95/p99 of dequeue->response ns,
+//     exact, from per-query samples);
+//   - pipeline degradation: blocks/s with the tier hammering vs the
+//     tier-off baseline (how much read traffic steals from the write path).
+//
+// Correctness self-checks (exit non-zero on violation):
+//   - every run's per-block roots are bit-identical to the tier-off
+//     baseline's and to a from-scratch serial replay (the tier is inert);
+//   - a sample of responses is re-evaluated against the serial-replay state
+//     at each response's pinned root and must match bit for bit.
+//
+// Usage: query_serving [--smoke] [--trace=<file>] [--metrics=<file>]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/chain/chain_runner.h"
+#include "src/query/query_engine.h"
+#include "src/state/state_view.h"
+
+namespace pevm {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+uint64_t Percentile(std::vector<uint64_t>& samples, double p) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[index];
+}
+
+struct RunResult {
+  int serve_threads = 0;
+  double qps = 0.0;
+  uint64_t p50_ns = 0, p95_ns = 0, p99_ns = 0;
+  double blocks_per_sec = 0.0;
+  double degradation_pct = 0.0;  // Pipeline slowdown vs tier-off baseline.
+  QueryStats stats;
+  SnapshotStats snapshots;
+  std::string final_root;
+};
+
+}  // namespace
+}  // namespace pevm
+
+int main(int argc, char** argv) {
+  using namespace pevm;
+  BenchFlags flags;
+  if (!ParseBenchFlags(argc, argv, flags)) {
+    return 2;
+  }
+  const bool smoke = flags.smoke;
+
+  WorkloadConfig config;
+  config.seed = 930'000;
+  config.transactions_per_block = smoke ? 60 : 200;
+  config.users = smoke ? 600 : 2'000;
+  const int n_blocks = smoke ? 4 : 12;
+  const int n_queries = smoke ? 600 : 8'000;
+  WorkloadGenerator gen(config);
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks = MakeBlocks(gen, n_blocks);
+
+  QueryWorkloadConfig qc;
+  qc.seed = 931'000;
+  qc.burst = 32;               // Bursty open-loop arrivals...
+  qc.burst_gap_ns = 200'000;   // ...200us apart.
+  std::vector<TimedQuery> load = gen.MakeQueryLoad(n_queries, qc);
+
+  // Serial-replay oracle: per-block states for response verification, roots
+  // for the inertness check.
+  std::vector<WorldState> replay_states;
+  std::vector<std::string> oracle_roots;
+  std::map<std::string, std::pair<uint64_t, size_t>> root_index;  // root -> (block, state idx)
+  {
+    WorldState state = genesis;
+    replay_states.push_back(state);
+    root_index[HexEncode(genesis.StateRoot())] = {0, 0};
+    std::unique_ptr<Executor> oracle = MakeExecutor(ExecutorKind::kSerial, ExecOptions{});
+    for (const Block& block : blocks) {
+      oracle->Execute(block, state);
+      replay_states.push_back(state);
+      oracle_roots.push_back(HexEncode(state.StateRoot()));
+      root_index[oracle_roots.back()] = {oracle_roots.size(), replay_states.size() - 1};
+    }
+  }
+
+  auto run_chain = [&](bool query_tier, int serve_threads, RunResult* out) {
+    ChainOptions options;
+    options.executor = ExecutorKind::kParallelEvm;
+    options.exec.os_threads = 8;
+    options.queue_depth = 4;
+    options.query_tier = query_tier;
+    options.query_retain = 8;
+    ChainRunner runner(options, genesis);
+
+    std::vector<std::future<QueryResponse>> futures;
+    std::vector<QueryResponse> responses;
+    uint64_t serve_wall_ns = 1;
+    QueryStats stats;
+    if (query_tier) {
+      QueryEngineOptions qopt;
+      qopt.threads = serve_threads;
+      QueryEngine engine(*runner.snapshots(), qopt);
+      futures.reserve(load.size());
+      const uint64_t start = NowNs();
+      // Open-loop submitter: replay each query at its generated offset
+      // (sleep-until, so a saturated engine produces backpressure, not a
+      // silently thinned schedule) while the block producer floods the
+      // pipeline from this thread.
+      std::thread submitter([&] {
+        for (const TimedQuery& timed : load) {
+          const uint64_t due = start + timed.offset_ns;
+          uint64_t now = NowNs();
+          if (due > now) {
+            std::this_thread::sleep_for(std::chrono::nanoseconds(due - now));
+          }
+          futures.push_back(engine.Submit(timed.request));
+        }
+      });
+      for (const Block& block : blocks) {
+        runner.Submit(block);
+      }
+      out->blocks_per_sec = runner.Finish().blocks_per_sec();
+      submitter.join();
+      responses.reserve(futures.size());
+      for (std::future<QueryResponse>& f : futures) {
+        responses.push_back(f.get());
+      }
+      serve_wall_ns = NowNs() - start;
+      stats = engine.Stop();
+      out->snapshots = runner.snapshots()->stats();
+    } else {
+      for (const Block& block : blocks) {
+        runner.Submit(block);
+      }
+      out->blocks_per_sec = runner.Finish().blocks_per_sec();
+    }
+    ChainReport report = runner.Finish();
+    out->final_root = HexEncode(report.final_root);
+
+    // Inertness: roots must match the serial oracle exactly, tier or no tier.
+    if (report.roots.size() != oracle_roots.size()) {
+      std::fprintf(stderr, "FATAL: committed %zu blocks, oracle has %zu\n",
+                   report.roots.size(), oracle_roots.size());
+      return false;
+    }
+    for (size_t b = 0; b < oracle_roots.size(); ++b) {
+      if (HexEncode(report.roots[b]) != oracle_roots[b]) {
+        std::fprintf(stderr, "FATAL: root mismatch at block %zu (tier=%d threads=%d)\n", b,
+                     query_tier ? 1 : 0, serve_threads);
+        return false;
+      }
+    }
+
+    if (query_tier) {
+      // Exactness: every 8th response re-evaluated against the replay state
+      // at its pinned root.
+      std::vector<uint64_t> samples;
+      samples.reserve(responses.size());
+      for (size_t i = 0; i < responses.size(); ++i) {
+        const QueryResponse& response = responses[i];
+        if (!response.ok()) {
+          std::fprintf(stderr, "FATAL: query %zu not served (status %d)\n", i,
+                       static_cast<int>(response.status));
+          return false;
+        }
+        samples.push_back(response.wall_ns);
+        if (i % 8 != 0) {
+          continue;
+        }
+        auto it = root_index.find(HexEncode(response.root));
+        if (it == root_index.end()) {
+          std::fprintf(stderr, "FATAL: query %zu served at unknown root\n", i);
+          return false;
+        }
+        WorldStateReader reader(replay_states[it->second.second]);
+        QueryResponse want =
+            EvalQuery(load[i].request, reader, it->second.first, response.root);
+        if (want.value != response.value || want.bytes != response.bytes ||
+            want.call_status != response.call_status || want.gas_used != response.gas_used) {
+          std::fprintf(stderr, "FATAL: query %zu diverged from serial replay at its root\n",
+                       i);
+          return false;
+        }
+      }
+      out->serve_threads = serve_threads;
+      out->qps = static_cast<double>(stats.served) * 1e9 / static_cast<double>(serve_wall_ns);
+      out->p50_ns = Percentile(samples, 0.50);
+      out->p95_ns = Percentile(samples, 0.95);
+      out->p99_ns = Percentile(samples, 0.99);
+      out->stats = stats;
+    }
+    return true;
+  };
+
+  std::printf("Query serving: %d blocks x %d txs + %d read queries (bursty, 32/200us)\n",
+              n_blocks, config.transactions_per_block, n_queries);
+
+  RunResult baseline;
+  if (!run_chain(/*query_tier=*/false, 0, &baseline)) {
+    return 1;
+  }
+  std::printf("baseline (tier off): %.2f blocks/s\n\n", baseline.blocks_per_sec);
+  std::printf("%-8s %-12s %-10s %-10s %-10s %-11s %s\n", "threads", "qps", "p50_us",
+              "p95_us", "p99_us", "blocks/s", "degradation");
+
+  std::vector<int> sweep = smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  std::vector<RunResult> runs;
+  for (int threads : sweep) {
+    RunResult run;
+    if (!run_chain(/*query_tier=*/true, threads, &run)) {
+      return 1;
+    }
+    run.degradation_pct =
+        baseline.blocks_per_sec <= 0.0
+            ? 0.0
+            : 100.0 * (1.0 - run.blocks_per_sec / baseline.blocks_per_sec);
+    std::printf("%-8d %-12.0f %-10.1f %-10.1f %-10.1f %-11.2f %+.1f%%\n", threads, run.qps,
+                run.p50_ns / 1e3, run.p95_ns / 1e3, run.p99_ns / 1e3, run.blocks_per_sec,
+                run.degradation_pct);
+    runs.push_back(run);
+  }
+
+  bool ok = WriteBenchJson("BENCH_query.json", [&](JsonWriter& w) {
+    w.BeginObject();
+    w.Field("bench", "query_serving");
+    w.Field("smoke", smoke);
+    w.BeginObject("workload");
+    w.Field("blocks", n_blocks);
+    w.Field("transactions_per_block", config.transactions_per_block);
+    w.Field("queries", n_queries);
+    w.Field("burst", qc.burst);
+    w.Field("burst_gap_ns", qc.burst_gap_ns);
+    w.EndObject();
+    w.Field("oracle_final_root", oracle_roots.back());
+    w.BeginObject("baseline");
+    w.Field("blocks_per_sec", baseline.blocks_per_sec);
+    w.EndObject();
+    w.BeginArray("runs");
+    for (const RunResult& run : runs) {
+      w.BeginObject();
+      w.Field("serve_threads", run.serve_threads);
+      w.Field("qps", run.qps);
+      w.Field("p50_ns", run.p50_ns);
+      w.Field("p95_ns", run.p95_ns);
+      w.Field("p99_ns", run.p99_ns);
+      w.Field("blocks_per_sec", run.blocks_per_sec);
+      w.Field("degradation_pct", run.degradation_pct);
+      w.Field("served", run.stats.served);
+      w.Field("unknown_root", run.stats.unknown_root);
+      w.Field("calls_reverted", run.stats.calls_reverted);
+      w.BeginObject("by_kind");
+      for (int k = 0; k < kQueryKinds; ++k) {
+        w.Field(QueryKindName(static_cast<QueryKind>(k)), run.stats.by_kind[k]);
+      }
+      w.EndObject();
+      w.BeginObject("snapshots");
+      w.Field("published", run.snapshots.published);
+      w.Field("retired", run.snapshots.retired);
+      w.Field("evictions_deferred", run.snapshots.evictions_deferred);
+      w.Field("versions_appended", run.snapshots.versions_appended);
+      w.Field("versions_folded", run.snapshots.versions_folded);
+      w.Field("acquires", run.snapshots.acquires);
+      w.EndObject();
+      w.Field("final_root", run.final_root);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  });
+  if (!WriteTelemetryArtifacts(flags)) {
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -26,13 +26,13 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 # would dominate the gate. A reduced slice of the cross-block speculation
 # battery runs separately below — it IS a race driver: spec thread vs exec
 # commit frontier through the write-observer overlay.
-TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|BoundaryValidationTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest|CodeCacheTest|CodeCacheDifferentialTest)'}
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|BoundaryValidationTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest|CodeCacheTest|CodeCacheDifferentialTest|BoundedQueueTest|SnapshotRegistryTest|QueryEngineTest|QueryInertnessTest)'}
 
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target determinism_test executor_test equivalence_test scheduled_test prefetch_test \
            chain_test chain_spec_test kv_test recovery_test telemetry_test trie_test \
-           codecache_test
+           codecache_test bounded_queue_test query_test
 
 cd "$BUILD_DIR"
 selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')
@@ -47,4 +47,9 @@ ctest -R "$TSAN_REGEX" --output-on-failure -j "$(nproc)"
 echo "== TSan: reduced cross-block speculation battery =="
 ./tests/chain_spec_test --blocks=4 --gtest_filter='ChainSpecDifferentialTest.*'
 
-echo "ThreadSanitizer: all $selected selected tests (+ speculation battery slice) clean."
+echo "== TSan: reduced query-serving oracle battery =="
+# Race driver for the snapshot registry: serving threads pin/read/release
+# concurrently with the commit stage publishing, retiring and pruning.
+./tests/query_test --blocks=6 --gtest_filter='QueryOracleTest.*'
+
+echo "ThreadSanitizer: all $selected selected tests (+ battery slices) clean."

@@ -105,6 +105,13 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
   executor_ = MakeExecutor(options_.executor, options_.exec);
   store_ = executor_->chain_store();
   seed_root_ = trie_->Root();
+  if (options_.query_tier) {
+    // Registry base = the committed (possibly recovered) state; the seed root
+    // becomes the first acquirable snapshot. Built before any pipeline thread
+    // starts so serving threads may attach immediately.
+    snapshots_ = std::make_unique<SnapshotRegistry>(
+        state_, seed_root_, recovered_blocks_, std::max<size_t>(1, options_.query_retain));
+  }
   spec_enabled_ = options_.speculate && executor_->seed_mode() != SpecMode::kSkip;
   if (spec_enabled_) {
     // Frozen speculation base: copied BEFORE the observer attaches, so the
@@ -386,6 +393,12 @@ void ChainRunner::CommitOne(PendingCommit pending) {
   apply_serial_hist.Observe(trie_->last_apply().serial_ns);
   apply_parallel_hist.Observe(trie_->last_apply().parallel_ns);
   roots_.push_back(root);
+  if (snapshots_) {
+    // Publish AFTER the root is final: acquirers see (block, root, versions)
+    // only once the triple is complete. Single publisher by construction —
+    // CommitOne runs on exactly one thread (commit or, inline, exec).
+    snapshots_->Publish(recovered_blocks_ + roots_.size(), root, pending.diff);
+  }
   durability_.push_back(durability);
   batch_enqueue_ns_.push_back(pending.enqueue_ns);
   batch_gauge.Set(static_cast<int64_t>(batch_enqueue_ns_.size()));
@@ -488,6 +501,9 @@ ChainReport ChainRunner::BuildReport(bool aborted) {
   report.roots = roots_;
   report.final_root = roots_.empty() ? seed_root_ : roots_.back();
   report.block_reports = block_reports_;
+  if (snapshots_) {
+    report.query_snapshots = snapshots_->stats();
+  }
   return report;
 }
 

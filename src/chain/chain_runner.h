@@ -39,6 +39,7 @@
 #include "src/exec/executor.h"
 #include "src/exec/pipeline.h"
 #include "src/exec/thread_pool.h"
+#include "src/query/snapshot.h"
 #include "src/state/spec_overlay.h"
 
 namespace pevm {
@@ -111,6 +112,18 @@ struct ChainOptions {
   // than the execution width instead of inheriting exec.os_threads. 0 means
   // max(16, resolved exec width). Wall-clock only, like everything here.
   int spec_threads = 0;
+
+  // Concurrent read-only query tier (DESIGN.md §4.7). When enabled the
+  // runner owns a SnapshotRegistry: the seed root is published at
+  // construction and stage 3 publishes every committed (block, root, diff)
+  // triple, keeping the last `query_retain` roots acquirable; eviction of
+  // anything a live handle can still reach is deferred by the registry's
+  // refcounts. Serving threads (a QueryEngine over snapshots()) read the
+  // registry only — the tier is wall-clock-only: roots, receipts and every
+  // deterministic BlockReport field are bit-identical with it on or off, at
+  // any serving thread count.
+  bool query_tier = false;
+  size_t query_retain = 8;
 };
 
 // Per-stage accounting. busy_ns counts time spent doing stage work (warming,
@@ -169,6 +182,10 @@ struct ChainReport {
   StageStats exec;
   StageStats commit;
   SpecStats speculation;
+  // Registry accounting (all-zero unless ChainOptions::query_tier). Publish/
+  // retire/fold counts are deterministic per stream; acquires/pins/deferred
+  // evictions depend on serving-thread timing (wall-clock class).
+  SnapshotStats query_snapshots;
 
   uint64_t blocks_submitted = 0;
   uint64_t blocks_executed = 0;
@@ -235,6 +252,11 @@ class ChainRunner {
   // The backing store (null unless persist == kKv). Test introspection and
   // explicit SyncNow; the runner itself owns the lifecycle.
   KvStore* kv_store() { return kv_store_.get(); }
+
+  // The query tier's snapshot registry (null unless query_tier). Safe to read
+  // from any number of serving threads while the pipeline runs; the single
+  // publisher is stage 3.
+  SnapshotRegistry* snapshots() { return snapshots_.get(); }
 
  private:
   // A block's diff plus the monotonic instant it left the exec stage — the
@@ -325,6 +347,13 @@ class ChainRunner {
   Hash256 seed_root_{};
   uint64_t recovered_blocks_ = 0;
   NodeStoreCommitStats genesis_durability_;
+
+  // Root-pinned snapshot registry for the read-only query tier (null unless
+  // options_.query_tier). Created in the constructor — after recovery fixes
+  // the seed root, before any pipeline thread starts — and published to only
+  // by CommitOne (commit thread when overlapped, exec thread inline), so the
+  // registry's single-publisher contract holds either way.
+  std::unique_ptr<SnapshotRegistry> snapshots_;
 
   std::unique_ptr<BoundedQueue<Block>> input_;         // Submit -> warm.
   std::unique_ptr<BoundedQueue<Block>> ready_;         // warm -> spec/exec.

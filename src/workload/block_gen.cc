@@ -288,4 +288,85 @@ Block WorkloadGenerator::MakeErc20ConflictBlock(int transactions, double conflic
   return block;
 }
 
+std::vector<TimedQuery> WorkloadGenerator::MakeQueryLoad(int n,
+                                                         const QueryWorkloadConfig& qc) const {
+  // Own RNG and skew state: const method, so a bench interleaving query
+  // generation with MakeBlock cannot perturb the transaction stream.
+  std::mt19937_64 rng(qc.seed);
+  ZipfDistribution contract_zipf(
+      static_cast<uint64_t>(config_.pools + config_.tokens + config_.funds), qc.contract_zipf_s);
+  ZipfDistribution user_zipf(static_cast<uint64_t>(config_.users), qc.user_zipf_s);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+
+  // Same pools-first unified hotness ranking as MakeHotContractBlock, so the
+  // query tier probes exactly the contracts the write pipeline is mutating.
+  auto pick_contract = [&](int rank, bool* is_token, int* index) {
+    if (rank < config_.pools) {
+      *is_token = false;
+      *index = rank;
+      return PoolAddress(rank);
+    }
+    if (rank < config_.pools + config_.tokens) {
+      *is_token = true;
+      *index = rank - config_.pools;
+      return TokenAddress(*index);
+    }
+    *is_token = false;
+    *index = rank - config_.pools - config_.tokens;
+    return FundAddress(*index);
+  };
+
+  std::vector<TimedQuery> load;
+  load.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    TimedQuery timed;
+    if (qc.burst > 0) {
+      timed.offset_ns = static_cast<uint64_t>(i / qc.burst) * qc.burst_gap_ns;
+    }
+    QueryRequest& req = timed.request;
+    const double kind = uniform(rng);
+    const int user = static_cast<int>(user_zipf(rng) - 1);
+    if (kind < qc.storage_frac) {
+      req.kind = QueryKind::kGetStorageAt;
+      int rank = static_cast<int>(contract_zipf(rng) - 1);
+      bool is_token = false;
+      int index = 0;
+      req.account = pick_contract(rank, &is_token, &index);
+      if (is_token) {
+        // Hot-user balance slot or total supply, like a token dashboard.
+        req.slot = (rng() % 4 == 0) ? U256(kErc20TotalSupplySlot)
+                                    : Erc20BalanceSlot(UserAddress(user));
+      } else if (rank < config_.pools) {
+        req.slot = U256(rng() % 2 == 0 ? kAmmReserve0Slot : kAmmReserve1Slot);
+      } else {
+        req.slot = U256(kCrowdfundTotalSlot);
+      }
+    } else if (kind < qc.storage_frac + qc.call_frac) {
+      // eth_call traffic goes to the ERC-20s (the only read-only selectors
+      // the workload contracts expose); token choice inherits the contract
+      // ranking's skew.
+      req.kind = QueryKind::kCall;
+      int rank = static_cast<int>(contract_zipf(rng) - 1);
+      req.account = TokenAddress(rank % config_.tokens);
+      req.caller = UserAddress(user);
+      req.calldata = (rng() % 4 == 0) ? Erc20TotalSupplyCall()
+                                      : Erc20BalanceOfCall(UserAddress(user));
+    } else if (kind < qc.storage_frac + qc.call_frac + qc.nonce_frac) {
+      req.kind = QueryKind::kGetNonce;
+      req.account = UserAddress(user);
+    } else if (kind < qc.storage_frac + qc.call_frac + qc.nonce_frac + qc.code_frac) {
+      req.kind = QueryKind::kGetCode;
+      int rank = static_cast<int>(contract_zipf(rng) - 1);
+      bool is_token = false;
+      int index = 0;
+      req.account = pick_contract(rank, &is_token, &index);
+    } else {
+      req.kind = QueryKind::kGetBalance;
+      req.account = UserAddress(user);
+    }
+    load.push_back(std::move(timed));
+  }
+  return load;
+}
+
 }  // namespace pevm

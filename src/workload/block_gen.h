@@ -10,8 +10,10 @@
 
 #include <random>
 #include <unordered_map>
+#include <vector>
 
 #include "src/exec/types.h"
+#include "src/query/query_engine.h"
 #include "src/state/world_state.h"
 #include "src/support/zipf.h"
 
@@ -55,6 +57,29 @@ struct WorkloadConfig {
   double failing_tx_frac = 0.01;
 };
 
+// Read-only query load for the concurrent serving tier (DESIGN.md §4.7).
+// Mirrors public-RPC traffic shape: balance polls dominated by active users,
+// storage probes and eth_calls concentrated on the same Zipf-hot contracts
+// the write workload hammers — so queries contend for exactly the snapshot
+// versions the pipeline keeps publishing.
+struct QueryWorkloadConfig {
+  uint64_t seed = 7;
+  // Kind mix (fractions; remainder goes to getBalance).
+  double storage_frac = 0.30;  // getStorageAt on token/pool/fund slots.
+  double call_frac = 0.25;     // eth_call: balanceOf / totalSupply.
+  double nonce_frac = 0.10;    // getTransactionCount.
+  double code_frac = 0.05;     // getCode on contracts.
+  // Skew: which contract a storage probe / call targets, which user a
+  // balance/nonce poll asks about (rank 1 hottest, like the write side).
+  double contract_zipf_s = 1.0;
+  double user_zipf_s = 1.2;
+  // Arrival schedule. burst = 0 emits every offset at 0 (submit as fast as
+  // backpressure allows). burst > 0 groups queries into bursts of that size,
+  // `burst_gap_ns` apart — the bursty open-loop arrival the bench replays.
+  int burst = 0;
+  uint64_t burst_gap_ns = 0;
+};
+
 class WorkloadGenerator {
  public:
   explicit WorkloadGenerator(const WorkloadConfig& config);
@@ -79,6 +104,13 @@ class WorkloadGenerator {
   // most invocations — the distribution the per-code-hash analysis cache and
   // its promotion threshold are designed for.
   Block MakeHotContractBlock(int transactions);
+
+  // Read-only query load over this workload's population (satellite of the
+  // query tier): Zipf-skewed contract/user choice, kind mix per
+  // QueryWorkloadConfig, arrival offsets per its burst schedule. const —
+  // query generation must not perturb the transaction stream's RNG, so
+  // interleaving MakeBlock and MakeQueryLoad calls changes nothing.
+  std::vector<TimedQuery> MakeQueryLoad(int n, const QueryWorkloadConfig& config) const;
 
   const WorkloadConfig& config() const { return config_; }
 
