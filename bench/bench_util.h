@@ -29,10 +29,12 @@ namespace pevm {
 
 // --- Shared command-line surface. -----------------------------------------
 //
-// Every bench accepts the same three flags:
+// Every bench accepts the same flags:
 //   --smoke            CI-sized run (each bench decides what that means)
 //   --trace=<file>     enable the trace recorder, export Chrome JSON at exit
 //   --metrics=<file>   snapshot the metrics registry to JSON at exit
+//   --ops-port=<n>     serve the ops plane (/metrics, /healthz, ...) on
+//                      127.0.0.1:<n> for the benches that run a ChainRunner
 struct BenchFlags {
   bool smoke = false;
   std::string trace_path;
@@ -40,6 +42,9 @@ struct BenchFlags {
   // Extra commit-batch depth for the chain bench's commit sweep (0 = off).
   // The sweep always covers {1, 4}; --commit-batch=N adds N to the set.
   size_t commit_batch = 0;
+  // Ops-plane HTTP port (-1 = off, 0 = ephemeral). Benches without a
+  // ChainRunner accept but ignore it.
+  int ops_port = -1;
 };
 
 // Parses argv into `flags`; prints a diagnostic and returns false on an
@@ -69,10 +74,26 @@ inline bool ParseBenchFlags(int argc, char** argv, BenchFlags& flags) {
         return false;
       }
       flags.commit_batch = parsed;
+    } else if (arg.starts_with("--ops-port=")) {
+      std::string_view v = arg.substr(sizeof("--ops-port=") - 1);
+      int parsed = 0;
+      bool ok = !v.empty();
+      for (char c : v) {
+        if (c < '0' || c > '9') {
+          ok = false;
+          break;
+        }
+        parsed = parsed * 10 + (c - '0');
+      }
+      if (!ok || parsed > 65535) {
+        std::fprintf(stderr, "bad --ops-port value: %s (0..65535)\n", argv[i]);
+        return false;
+      }
+      flags.ops_port = parsed;
     } else {
       std::fprintf(stderr,
                    "unknown flag: %s (supported: --smoke --trace=<file> --metrics=<file> "
-                   "--commit-batch=<n>)\n",
+                   "--commit-batch=<n> --ops-port=<n>)\n",
                    argv[i]);
       return false;
     }
@@ -98,6 +119,9 @@ inline bool WriteTelemetryArtifacts(const BenchFlags& flags) {
     }
   }
   if (!flags.metrics_path.empty()) {
+    // Fold per-thread trace-ring occupancy/drop gauges into the snapshot so
+    // the metrics artifact reflects the recorder's state too.
+    telemetry::UpdateTraceGauges();
     if (telemetry::WriteMetricsJson(flags.metrics_path)) {
       std::printf("wrote %s\n", flags.metrics_path.c_str());
     } else {

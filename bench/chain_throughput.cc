@@ -23,11 +23,14 @@
 // sharding and batching change commit wall clock and durability lag only.
 //
 // Usage: chain_throughput [--smoke] [--trace=<file>] [--metrics=<file>]
-//                         [--commit-batch=<n>]
+//                         [--commit-batch=<n>] [--ops-port=<n>]
 //   --smoke: CI-sized stream, same JSON. --trace: Chrome trace_event JSON of
 //   the whole run (warm/exec/commit stages, per-tx executor spans, prefetch
 //   batches, KV fsyncs on their real threads). --metrics: registry snapshot.
 //   --commit-batch=<n>: add batch depth n to the commit sweep's {1, 4}.
+//   --ops-port=<n>: every ChainRunner in the sweeps serves /metrics,
+//   /healthz, /debug/blocks and /debug/trace on 127.0.0.1:<n> while it runs
+//   (runners are sequential, so the port is free between them).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -85,6 +88,7 @@ int main(int argc, char** argv) {
     double serial_bps = 0.0;
     for (bool overlap : {false, true}) {
       ChainOptions options;
+      options.ops_server.port = flags.ops_port;
       options.executor = ExecutorKind::kParallelEvm;
       options.exec.threads = 16;
       options.exec.os_threads = os_threads;
@@ -157,6 +161,7 @@ int main(int argc, char** argv) {
   std::vector<WarmRow> warm_rows;
   for (int depth : {0, 8}) {
     ChainOptions options;
+    options.ops_server.port = flags.ops_port;
     options.executor = ExecutorKind::kParallelEvm;
     options.exec.threads = 16;
     options.exec.os_threads = 4;
@@ -224,6 +229,7 @@ int main(int argc, char** argv) {
   };
   for (const KvMode& mode : kv_modes) {
     ChainOptions options;
+    options.ops_server.port = flags.ops_port;
     options.executor = ExecutorKind::kParallelEvm;
     options.exec.threads = 16;
     options.exec.os_threads = 4;
@@ -305,6 +311,7 @@ int main(int argc, char** argv) {
     for (bool sharded : {false, true}) {
       for (size_t batch : batch_depths) {
         ChainOptions options;
+        options.ops_server.port = flags.ops_port;
         options.executor = ExecutorKind::kParallelEvm;
         options.exec.threads = 16;
         options.exec.os_threads = os_threads;
@@ -406,6 +413,7 @@ int main(int argc, char** argv) {
       SpecRow row;
       for (int rep = 0; rep < kSpecReps; ++rep) {
         ChainOptions options;
+        options.ops_server.port = flags.ops_port;
         options.executor = ExecutorKind::kParallelEvm;
         options.exec.threads = 16;
         options.exec.os_threads = os_threads;

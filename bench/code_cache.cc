@@ -149,6 +149,12 @@ int main(int argc, char** argv) {
     w.EndObject();
   });
 
+  // Export --trace/--metrics before the gates: a failing run's telemetry is
+  // exactly the artifact worth inspecting.
+  if (!WriteTelemetryArtifacts(flags)) {
+    return 1;
+  }
+
   // Regression gates from the issue's acceptance criteria.
   if (hit_rate < 0.90) {
     std::fprintf(stderr, "FATAL: tier-0 hit rate %.2f%% below the 90%% floor\n",

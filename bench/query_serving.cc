@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
 
   auto run_chain = [&](bool query_tier, int serve_threads, RunResult* out) {
     ChainOptions options;
+    options.ops_server.port = flags.ops_port;
     options.executor = ExecutorKind::kParallelEvm;
     options.exec.os_threads = 8;
     options.queue_depth = 4;

@@ -5,7 +5,9 @@
 # the KV store's writer / reader / background-compaction concurrency, the
 # telemetry recorder's lock-free rings (concurrent writers + live export) and
 # the shared code cache (sharded shared-lock lookups, once-per-hash analysis,
-# tier-1 promotion racing 16 reader threads):
+# tier-1 promotion racing 16 reader threads) and the ops plane (HTTP scrape
+# threads reading pipeline counters and the flight-recorder ring while the
+# pipeline commits; the watchdog sampling concurrently):
 # builds the tree with
 # -fsanitize=thread (PEVM_SANITIZE=thread) and runs the suites that drive the
 # thread-pool pipeline, the background prefetch engine, the streaming
@@ -26,13 +28,13 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 # would dominate the gate. A reduced slice of the cross-block speculation
 # battery runs separately below — it IS a race driver: spec thread vs exec
 # commit frontier through the write-observer overlay.
-TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|BoundaryValidationTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest|CodeCacheTest|CodeCacheDifferentialTest|BoundedQueueTest|SnapshotRegistryTest|QueryEngineTest|QueryInertnessTest)'}
+TSAN_REGEX=${TSAN_REGEX:-'^(DeterminismTest|ThreadPoolTest|PrefetchPropertyTest|ExecutorPropertyTest|ExecutorTypedTest|ParallelEvmTest|BlockStmTest|TwoPhaseLockingTest|EquivalenceContention|ScheduledTest|ChainRunnerTest|ChainShutdownTest|BoundaryValidationTest|KvConcurrencyTest|KvCompactionTest|ChainPersistenceTest|ChainResumeTest|TelemetryTest|MetricsTest|OsThreads/InertnessTest|ShardedMptConcurrencyTest|IncrementalStateTrieTest|CodeCacheTest|CodeCacheDifferentialTest|BoundedQueueTest|SnapshotRegistryTest|QueryEngineTest|QueryInertnessTest|HttpServerTest|PrometheusTest|FlightRecorderTest|WatchdogTest|OpsPlaneTest|OpsInertnessTest)'}
 
 cmake -B "$BUILD_DIR" -S . -DPEVM_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target determinism_test executor_test equivalence_test scheduled_test prefetch_test \
            chain_test chain_spec_test kv_test recovery_test telemetry_test trie_test \
-           codecache_test bounded_queue_test query_test
+           codecache_test bounded_queue_test query_test ops_test
 
 cd "$BUILD_DIR"
 selected=$(ctest -N -R "$TSAN_REGEX" | sed -n 's/^Total Tests: //p')

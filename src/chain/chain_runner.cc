@@ -58,7 +58,7 @@ namespace {
 }  // namespace
 
 ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
-    : options_(options), state_(genesis) {
+    : options_(options), state_(genesis), flight_(options.ops_server.flight_recorder_blocks) {
   options_.exec.external_warmup = true;  // The runner owns the SimStore lifecycle.
   switch (options_.persist) {
     case PersistMode::kNone:
@@ -132,8 +132,24 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
     specced_ = std::make_unique<BoundedQueue<SpecItem>>(1);
   }
   input_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
-  ready_ = std::make_unique<BoundedQueue<Block>>(options_.queue_depth);
+  ready_ = std::make_unique<BoundedQueue<WarmedBlock>>(options_.queue_depth);
   diffs_ = std::make_unique<BoundedQueue<PendingCommit>>(options_.queue_depth);
+  if (options_.ops_server.enabled()) {
+    // After the queues exist (the Progress closure reads their depths),
+    // before the pipeline threads start — a scrape that lands during Submit
+    // of block 1 must already see a coherent sample.
+    std::function<SnapshotStats()> snapshot_stats;
+    if (snapshots_) {
+      snapshot_stats = [this] { return snapshots_->stats(); };
+    }
+    ops_ = std::make_unique<ops::OpsServer>(options_.ops_server, flight_,
+                                            [this] { return Progress(); },
+                                            std::move(snapshot_stats));
+    std::string error;
+    if (!ops_->Start(&error)) {
+      FatalChain("cannot start ops server", error);
+    }
+  }
   warm_thread_ = std::thread(&ChainRunner::WarmLoop, this);
   if (spec_enabled_) {
     spec_thread_ = std::thread(&ChainRunner::SpecLoop, this);
@@ -146,9 +162,69 @@ ChainRunner::ChainRunner(const ChainOptions& options, const WorldState& genesis)
 }
 
 ChainRunner::~ChainRunner() {
+  // Quiesce the ops plane first: once Stop returns, no HTTP worker or
+  // watchdog thread can be inside Progress()/flight-recorder reads while the
+  // queues below tear down.
+  if (ops_) {
+    ops_->Stop();
+  }
   if (!finished_.load()) {
     Abort();
   }
+}
+
+ops::PipelineProgress ChainRunner::Progress() const {
+  ops::PipelineProgress progress;
+  progress.running = pipeline_running_.load(std::memory_order_relaxed);
+  progress.blocks_submitted = blocks_submitted_.load(std::memory_order_relaxed);
+  progress.blocks_committed = blocks_committed_.load(std::memory_order_relaxed);
+
+  ops::StageProgress warm;
+  warm.name = "warm";
+  warm.active = true;
+  warm.entered = warm_in_.load(std::memory_order_relaxed);
+  warm.exited = warm_out_.load(std::memory_order_relaxed);
+  warm.queue_depth = input_->depth();
+  warm.queue_high_water = input_->max_depth();
+  progress.stages.push_back(std::move(warm));
+
+  ops::StageProgress spec;
+  spec.name = "spec";
+  spec.active = spec_enabled_;
+  spec.entered = spec_in_.load(std::memory_order_relaxed);
+  spec.exited = spec_out_.load(std::memory_order_relaxed);
+  if (spec_enabled_) {
+    spec.queue_depth = ready_->depth();
+    spec.queue_high_water = ready_->max_depth();
+  }
+  progress.stages.push_back(std::move(spec));
+
+  ops::StageProgress exec;
+  exec.name = "exec";
+  exec.active = true;
+  exec.entered = exec_in_.load(std::memory_order_relaxed);
+  exec.exited = exec_out_.load(std::memory_order_relaxed);
+  if (spec_enabled_) {
+    exec.queue_depth = specced_->depth();
+    exec.queue_high_water = specced_->max_depth();
+  } else {
+    exec.queue_depth = ready_->depth();
+    exec.queue_high_water = ready_->max_depth();
+  }
+  progress.stages.push_back(std::move(exec));
+
+  // Active even with overlap_commit = false: CommitOne then runs inline on
+  // the exec thread but still counts entry/exit, so an inline committer
+  // wedged in a trie apply is diagnosed as "commit", not "exec".
+  ops::StageProgress commit;
+  commit.name = "commit";
+  commit.active = true;
+  commit.entered = commit_in_.load(std::memory_order_relaxed);
+  commit.exited = commit_out_.load(std::memory_order_relaxed);
+  commit.queue_depth = diffs_->depth();
+  commit.queue_high_water = diffs_->max_depth();
+  progress.stages.push_back(std::move(commit));
+  return progress;
 }
 
 bool ChainRunner::Submit(Block block) {
@@ -195,6 +271,7 @@ void ChainRunner::WarmLoop() {
   PEVM_TRACE_THREAD_NAME("chain-warm");
   WallTimer stage;
   while (std::optional<Block> block = input_->Pop()) {
+    warm_in_.fetch_add(1, std::memory_order_relaxed);
     WallTimer busy;
     PEVM_TRACE_COUNTER("chain.input_queue", input_->depth());
     {
@@ -208,9 +285,12 @@ void ChainRunner::WarmLoop() {
         engine.Drain();
       }
     }
-    warm_stats_.busy_ns += busy.ElapsedNs();
+    uint64_t busy_ns = busy.ElapsedNs();
+    warm_stats_.busy_ns += busy_ns;
     ++warm_stats_.blocks;
-    if (!ready_->Push(std::move(*block))) {
+    bool pushed = ready_->Push(WarmedBlock{std::move(*block), busy_ns, telemetry::NowNs()});
+    warm_out_.fetch_add(1, std::memory_order_relaxed);
+    if (!pushed) {
       break;  // Aborted downstream.
     }
   }
@@ -223,10 +303,13 @@ void ChainRunner::SpecLoop() {
   static auto& launched_hist = telemetry::GetHistogram("chain.spec_launched_per_block");
   WallTimer stage;
   const bool with_log = executor_->seed_mode() == SpecMode::kWithLog;
-  while (std::optional<Block> block = ready_->Pop()) {
+  while (std::optional<WarmedBlock> warmed = ready_->Pop()) {
+    spec_in_.fetch_add(1, std::memory_order_relaxed);
     WallTimer busy;
     PEVM_TRACE_COUNTER("chain.ready_queue", ready_->depth());
-    SpecItem item{std::move(*block), std::nullopt};
+    SpecItem item{std::move(warmed->block), std::nullopt};
+    item.warm_busy_ns = warmed->warm_busy_ns;
+    item.warmed_ns = warmed->warmed_ns;
     const size_t n = item.block.transactions.size();
     if (n > 0) {
       PEVM_TRACE_SPAN_ARG("chain.spec_launch", "txs", n);
@@ -268,9 +351,13 @@ void ChainRunner::SpecLoop() {
       spec_pool_->ParallelFor(n, speculate_one);
       launched_hist.Observe(item.spec->launched);
     }
-    spec_stats_.busy_ns += busy.ElapsedNs();
+    uint64_t busy_ns = busy.ElapsedNs();
+    item.spec_busy_ns = busy_ns;
+    spec_stats_.busy_ns += busy_ns;
     ++spec_stats_.blocks;
-    if (!specced_->Push(std::move(item))) {
+    bool pushed = specced_->Push(std::move(item));
+    spec_out_.fetch_add(1, std::memory_order_relaxed);
+    if (!pushed) {
       break;  // Aborted downstream.
     }
   }
@@ -290,12 +377,17 @@ void ChainRunner::ExecLoop() {
     if (spec_enabled_) {
       return specced_->Pop();
     }
-    if (std::optional<Block> block = ready_->Pop()) {
-      return SpecItem{std::move(*block), std::nullopt};
+    if (std::optional<WarmedBlock> warmed = ready_->Pop()) {
+      SpecItem item{std::move(warmed->block), std::nullopt};
+      item.warm_busy_ns = warmed->warm_busy_ns;
+      item.warmed_ns = warmed->warmed_ns;
+      return item;
     }
     return std::nullopt;
   };
   while (std::optional<SpecItem> item = next()) {
+    exec_in_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t picked_ns = telemetry::NowNs();
     WallTimer busy;
     if (spec_enabled_) {
       PEVM_TRACE_COUNTER("chain.specced_queue", specced_->depth());
@@ -304,6 +396,18 @@ void ChainRunner::ExecLoop() {
     }
     Block& block = item->block;
     BlockReport report;
+    // Flight-recorder anatomy: assembled here on the exec thread from values
+    // the pipeline already computes; reading them into this plain struct is
+    // the ops plane's only touch on the hot path.
+    ops::BlockAnatomy anatomy;
+    anatomy.transactions = block.transactions.size();
+    anatomy.warm_busy_ns = item->warm_busy_ns;
+    anatomy.spec_busy_ns = item->spec_busy_ns;
+    // Hand-off wait: warm push instant to exec pop instant, minus the spec
+    // stage's own busy time (which is work, not waiting).
+    uint64_t since_warm = picked_ns > item->warmed_ns ? picked_ns - item->warmed_ns : 0;
+    anatomy.ready_wait_ns =
+        since_warm > item->spec_busy_ns ? since_warm - item->spec_busy_ns : 0;
     // Boundary validation: the previous block's Execute has returned and this
     // thread is the only state_ writer, so state_ is quiescent — exactly the
     // committed post-predecessor state the seeds must be validated against.
@@ -324,6 +428,11 @@ void ChainRunner::ExecLoop() {
       spec_totals_.boundary_validate_wall_ns += validate.ElapsedNs();
       repaired_hist.Observe(outcome.redo_repaired);
       dropped_hist.Observe(outcome.dropped);
+      anatomy.spec_launched = item->spec->launched;
+      anatomy.spec_held = item->spec->held;
+      anatomy.spec_clean = outcome.clean;
+      anatomy.spec_repaired = outcome.redo_repaired;
+      anatomy.spec_dropped = outcome.dropped;
       seeds = std::move(outcome.seeds);
       boundary_dropped = std::move(outcome.dropped_keys);
       have_seeds = true;
@@ -341,8 +450,18 @@ void ChainRunner::ExecLoop() {
     exec_stats_.busy_ns += busy_ns;
     exec_hist.Observe(busy_ns);
     ++exec_stats_.blocks;
+    anatomy.exec_busy_ns = busy_ns;
+    anatomy.conflicts = report.conflicts;
+    anatomy.redo_success = report.redo_success;
+    anatomy.redo_fail = report.redo_fail;
+    anatomy.full_reexecutions = report.full_reexecutions;
+    anatomy.oplog_entries = report.oplog_entries;
+    anatomy.instructions = report.instructions;
+    anatomy.prefetch_hits = report.prefetch_hits;
+    anatomy.prefetch_misses = report.prefetch_misses;
     block_reports_.push_back(std::move(report));
-    PendingCommit pending{std::move(diff), telemetry::NowNs()};
+    PendingCommit pending{std::move(diff), telemetry::NowNs(), std::move(anatomy)};
+    exec_out_.fetch_add(1, std::memory_order_relaxed);
     if (options_.overlap_commit) {
       if (!diffs_->Push(std::move(pending))) {
         break;  // Aborted downstream.
@@ -384,6 +503,8 @@ void ChainRunner::CommitOne(PendingCommit pending) {
   static auto& apply_serial_hist = telemetry::GetHistogram("chain.commit_apply_serial_ns");
   static auto& apply_parallel_hist = telemetry::GetHistogram("chain.commit_apply_parallel_ns");
   static auto& batch_gauge = telemetry::GetGauge("chain.commit_batch_depth");
+  commit_in_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t commit_start_ns = telemetry::NowNs();
   WallTimer busy;
   PEVM_TRACE_SPAN_ARG("chain.commit", "block", commit_stats_.blocks);
   trie_->ApplyDiff(pending.diff);
@@ -402,6 +523,20 @@ void ChainRunner::CommitOne(PendingCommit pending) {
   durability_.push_back(durability);
   batch_enqueue_ns_.push_back(pending.enqueue_ns);
   batch_gauge.Set(static_cast<int64_t>(batch_enqueue_ns_.size()));
+  // Finalize and record the anatomy BEFORE a possible FlushBatch: the durable
+  // fields are back-stamped there by block index, so the record must already
+  // be in the ring. queue_to_durable stays 0 until the batch seals.
+  pending.anatomy.block_index = recovered_blocks_ + roots_.size();
+  pending.anatomy.root = root;
+  pending.anatomy.commit_wait_ns =
+      commit_start_ns > pending.enqueue_ns ? commit_start_ns - pending.enqueue_ns : 0;
+  pending.anatomy.commit_apply_ns = durability.apply_ns;
+  pending.anatomy.diff_entries = pending.diff.size();
+  if (snapshots_) {
+    pending.anatomy.snapshots_retained = snapshots_->retained();
+    pending.anatomy.snapshot_live_pins = snapshots_->live_pins();
+  }
+  flight_.Record(pending.anatomy);
   size_t batch = options_.commit.batch_blocks > 0 ? options_.commit.batch_blocks : 1;
   if (batch_enqueue_ns_.size() >= batch) {
     FlushBatch();
@@ -410,6 +545,8 @@ void ChainRunner::CommitOne(PendingCommit pending) {
   commit_stats_.busy_ns += busy_ns;
   commit_hist.Observe(busy_ns);
   ++commit_stats_.blocks;
+  blocks_committed_.fetch_add(1, std::memory_order_relaxed);
+  commit_out_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ChainRunner::FlushBatch() {
@@ -419,6 +556,7 @@ void ChainRunner::FlushBatch() {
     return;
   }
   const size_t first_local = roots_.size() - count;
+  uint64_t batch_persist_ns = 0;
   if (node_store_ != nullptr) {
     static auto& persist_hist = telemetry::GetHistogram("chain.commit_persist_ns");
     // Chain-lifetime block index: a resumed runner keeps counting where the
@@ -429,6 +567,7 @@ void ChainRunner::FlushBatch() {
         trie_->CommitBatch(recovered_blocks_ + first_local,
                            std::span<const Hash256>(roots_.data() + first_local, count));
     uint64_t persist_ns = persist.ElapsedNs();
+    batch_persist_ns = persist_ns;
     persist_hist.Observe(persist_ns);
     // Seal costs are shared by the whole batch; attribute them to its last
     // block so the report's totals stay exact (a per-block split would be
@@ -446,6 +585,10 @@ void ChainRunner::FlushBatch() {
     uint64_t latency = now > enqueue_ns ? now - enqueue_ns : 0;
     durability_[first_local + i].queue_to_durable_ns = latency;
     q2d_hist.Observe(latency);
+    // Back-stamp the flight record now that the block is durable. Seal costs
+    // attribute to the batch's last block, mirroring durability_ above.
+    flight_.StampDurability(recovered_blocks_ + first_local + i + 1, latency,
+                            i + 1 == count ? batch_persist_ns : 0, commit_batches_ + 1);
   }
   batch_enqueue_ns_.clear();
   ++commit_batches_;
@@ -464,6 +607,9 @@ void ChainRunner::JoinAll() {
   if (commit_thread_.joinable()) {
     commit_thread_.join();
   }
+  // Pipeline is quiescent: tell the watchdog to stand down rather than
+  // diagnose the (intentional) absence of progress as a stall.
+  pipeline_running_.store(false, std::memory_order_relaxed);
   run_wall_ns_ = run_timer_.ElapsedNs();
 }
 

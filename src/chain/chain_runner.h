@@ -39,6 +39,8 @@
 #include "src/exec/executor.h"
 #include "src/exec/pipeline.h"
 #include "src/exec/thread_pool.h"
+#include "src/ops/flight_recorder.h"
+#include "src/ops/ops_server.h"
 #include "src/query/snapshot.h"
 #include "src/state/spec_overlay.h"
 
@@ -124,6 +126,15 @@ struct ChainOptions {
   // any serving thread count.
   bool query_tier = false;
   size_t query_retain = 8;
+
+  // Live ops plane (DESIGN.md §4.8): the embedded admin HTTP endpoint
+  // (/metrics, /healthz, /debug/blocks, /debug/trace) and the stall
+  // watchdog, both read-only over pipeline state. ops_server.port < 0 and
+  // ops_server.watchdog == false (the defaults) start neither; the per-block
+  // flight recorder runs regardless — it is part of the runner, always on,
+  // and inert: roots and every deterministic BlockReport field are
+  // bit-identical with the plane off, idle, or hammered (tests/ops_test.cc).
+  ops::OpsServerOptions ops_server;
 };
 
 // Per-stage accounting. busy_ns counts time spent doing stage work (warming,
@@ -258,20 +269,48 @@ class ChainRunner {
   // publisher is stage 3.
   SnapshotRegistry* snapshots() { return snapshots_.get(); }
 
+  // The always-on per-block flight recorder (ring capacity from
+  // ChainOptions::ops_server.flight_recorder_blocks). Safe to snapshot from
+  // any thread while the pipeline runs.
+  const ops::FlightRecorder& flight_recorder() const { return flight_; }
+
+  // The ops plane (null unless ops_server.enabled()). Live while the runner
+  // lives; the destructor stops it before tearing the pipeline down. Attach
+  // a QueryEngine here to surface serving stats in /healthz.
+  ops::OpsServer* ops_server() { return ops_.get(); }
+
+  // Per-stage progress sample for the watchdog and /healthz: relaxed counter
+  // reads plus queue depths, never a pipeline lock. Callable from any thread.
+  ops::PipelineProgress Progress() const;
+
  private:
+  // What the warm stage hands downstream: the block plus the anatomy scalars
+  // only the warm stage knows (its busy time and the hand-off instant the
+  // ready-queue wait is measured from).
+  struct WarmedBlock {
+    Block block;
+    uint64_t warm_busy_ns = 0;
+    uint64_t warmed_ns = 0;  // telemetry::NowNs() at hand-off.
+  };
+
   // A block's diff plus the monotonic instant it left the exec stage — the
-  // anchor for the honest enqueue→durable latency under batching.
+  // anchor for the honest enqueue→durable latency under batching — and the
+  // anatomy assembled so far (stage 3 finalizes and records it).
   struct PendingCommit {
     StateDiff diff;
     uint64_t enqueue_ns = 0;
+    ops::BlockAnatomy anatomy;
   };
 
   // What the speculation stage hands the exec stage: the block plus (when the
   // stage ran on it) its overlay speculation records awaiting boundary
-  // validation.
+  // validation, carrying the upstream anatomy scalars through.
   struct SpecItem {
     Block block;
     std::optional<SpeculativeBlock> spec;
+    uint64_t warm_busy_ns = 0;
+    uint64_t warmed_ns = 0;
+    uint64_t spec_busy_ns = 0;
   };
 
   // Launch/hold filter for the speculation stage: a transaction predicted to
@@ -356,7 +395,7 @@ class ChainRunner {
   std::unique_ptr<SnapshotRegistry> snapshots_;
 
   std::unique_ptr<BoundedQueue<Block>> input_;         // Submit -> warm.
-  std::unique_ptr<BoundedQueue<Block>> ready_;         // warm -> spec/exec.
+  std::unique_ptr<BoundedQueue<WarmedBlock>> ready_;   // warm -> spec/exec.
   std::unique_ptr<BoundedQueue<SpecItem>> specced_;    // spec -> exec (speculate only).
   std::unique_ptr<BoundedQueue<PendingCommit>> diffs_; // exec -> commit.
 
@@ -392,6 +431,21 @@ class ChainRunner {
   // the tail of roots_/durability_. Committer-thread-only state.
   std::vector<uint64_t> batch_enqueue_ns_;
   uint64_t commit_batches_ = 0;
+
+  // Ops plane. flight_ is always on (its Record sits on the commit path but
+  // is one struct copy under an uncontended mutex); progress counters are
+  // relaxed atomics bumped at stage entry/exit so the watchdog and /healthz
+  // can sample without touching any pipeline lock. ops_ is declared after
+  // the queues so it is destroyed (and its threads joined) before the queues
+  // its Progress closure reads — the destructor additionally stops it first.
+  ops::FlightRecorder flight_;
+  std::atomic<uint64_t> warm_in_{0}, warm_out_{0};
+  std::atomic<uint64_t> spec_in_{0}, spec_out_{0};
+  std::atomic<uint64_t> exec_in_{0}, exec_out_{0};
+  std::atomic<uint64_t> commit_in_{0}, commit_out_{0};
+  std::atomic<uint64_t> blocks_committed_{0};
+  std::atomic<bool> pipeline_running_{true};
+  std::unique_ptr<ops::OpsServer> ops_;
 
   // Submit may race Finish/Abort (a producer thread aborted mid-stream), so
   // the shared flags are atomic; the queues provide the actual cutoff.

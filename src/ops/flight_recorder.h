@@ -1,0 +1,105 @@
+// Always-on per-block flight recorder: a fixed-size ring of BlockAnatomy
+// records — where each committed block's wall time went (stage busy vs queue
+// wait), what its conflict/redo/speculation outcome was, and what committing
+// it cost — assembled by the pipeline from numbers it already computes for
+// StageStats / BlockDurability / BlockReport. The last N blocks are always
+// available for /debug/blocks and for the stall watchdog's diagnosis, with no
+// opt-in flag: the per-block cost is one struct copy under a mutex nobody on
+// the hot path contends (the ring's only other readers are ops scrapes).
+//
+// Inertness (DESIGN.md §4.8): every field is copied *out* of pipeline state
+// after the fact; nothing reads the ring back into execution. The deterministic
+// fields (conflicts, redo counts, oplog entries, ...) are copies of
+// BlockReport fields already proven invariant; the wall-clock fields come
+// from the same telemetry::NowNs() clock the trace recorder uses.
+#ifndef SRC_OPS_FLIGHT_RECORDER_H_
+#define SRC_OPS_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/support/keccak.h"
+
+namespace pevm::ops {
+
+// One committed block's anatomy. Fields marked [det] are deterministic
+// (bit-identical run to run for the same stream); everything else is
+// wall-clock class and may vary with scheduling.
+struct BlockAnatomy {
+  // Identity.
+  uint64_t block_index = 0;  // [det] Chain-lifetime index (resume-aware).
+  uint64_t transactions = 0;  // [det]
+  Hash256 root{};             // [det]
+
+  // Stage busy / queue-wait split, in nanoseconds.
+  uint64_t warm_busy_ns = 0;
+  uint64_t spec_busy_ns = 0;        // 0 when the speculation stage is off.
+  uint64_t exec_busy_ns = 0;        // Boundary validation + Execute.
+  uint64_t ready_wait_ns = 0;       // Left warm stage → picked up downstream.
+  uint64_t commit_wait_ns = 0;      // Left exec stage → committer picked it up.
+  uint64_t commit_apply_ns = 0;     // Diff replay + incremental re-root.
+  uint64_t commit_persist_ns = 0;   // Batch seal share (lands on batch-last).
+  uint64_t queue_to_durable_ns = 0; // Honest per-block durability lag.
+
+  // Execution outcome, copied from the block's BlockReport. [det]
+  int conflicts = 0;
+  int redo_success = 0;
+  int redo_fail = 0;
+  int full_reexecutions = 0;
+  uint64_t oplog_entries = 0;
+  uint64_t instructions = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_misses = 0;
+
+  // Cross-block speculation outcome (all zero when the stage is off).
+  // Wall-clock class: which txs launch early depends on thread timing.
+  uint64_t spec_launched = 0;
+  uint64_t spec_held = 0;
+  uint64_t spec_clean = 0;
+  uint64_t spec_repaired = 0;
+  uint64_t spec_dropped = 0;
+
+  // Commit-batch + snapshot-registry state when the block committed.
+  uint64_t commit_batch = 0;        // Seal ordinal the block landed in (1-based; 0 = still open).
+  uint64_t diff_entries = 0;        // [det] Ordered-journal entries applied.
+  uint64_t snapshots_retained = 0;  // Registry occupancy after publish (0 = tier off).
+  uint64_t snapshot_live_pins = 0;  // Outstanding query handles at publish.
+};
+
+class FlightRecorder {
+ public:
+  // `capacity` blocks are retained; older records are overwritten.
+  explicit FlightRecorder(size_t capacity = 256);
+
+  // Called by the commit path once per block, after the root is final.
+  void Record(const BlockAnatomy& anatomy);
+
+  // Batch-seal follow-up: stamps durability fields onto the ring entry for
+  // `block_index` if it is still resident (under heavy wraparound an early
+  // batch member may already be gone — stamping is best-effort by design).
+  void StampDurability(uint64_t block_index, uint64_t queue_to_durable_ns,
+                       uint64_t persist_ns, uint64_t commit_batch);
+
+  // Resident records, oldest first.
+  std::vector<BlockAnatomy> Snapshot() const;
+
+  uint64_t total_recorded() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<BlockAnatomy> ring_;  // Slot = total index % capacity.
+  uint64_t total_ = 0;              // Records ever written.
+};
+
+// JSON array of the recorder's resident records, oldest first — the
+// /debug/blocks response body (root as hex, every counter as a number).
+std::string FlightRecorderJson(const FlightRecorder& recorder);
+
+}  // namespace pevm::ops
+
+#endif  // SRC_OPS_FLIGHT_RECORDER_H_

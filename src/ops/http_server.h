@@ -1,0 +1,103 @@
+// Minimal embedded HTTP/1.1 server for the ops plane (DESIGN.md §4.8):
+// blocking sockets, one poll()-based acceptor thread, a small worker pool, no
+// external dependencies. Deliberately tiny — exact-path routing, one request
+// per connection (Connection: close), bounded request size, loopback bind by
+// default — because its only job is answering observability scrapes
+// (/metrics, /healthz, /debug/*) off the block hot path.
+//
+// Inertness: the server shares nothing with the pipeline except the handler
+// closures it is given, and those only *read* (atomic counters, the flight
+// recorder's ring under its own mutex, the metrics registry). Serving a
+// scrape can therefore cost the pipeline at most memory bandwidth and a core,
+// never a lock on the execution path — the §4.8 argument, proven by
+// tests/ops_test.cc's inertness suite.
+#ifndef SRC_OPS_HTTP_SERVER_H_
+#define SRC_OPS_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chain/bounded_queue.h"
+
+namespace pevm::ops {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ... (upper-cased as received).
+  std::string path;    // Path component only; the query string is split off.
+  std::string query;   // Raw query string ("" when absent).
+  std::string body;    // POST payload (Content-Length bytes).
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";  // Loopback-only by default.
+    int port = 0;                            // 0 = ephemeral; see port().
+    int threads = 2;                         // Worker pool size.
+    size_t max_request_bytes = 1u << 20;     // Request line + headers + body.
+    int io_timeout_ms = 5000;                // Per-connection read/write cap.
+  };
+
+  explicit HttpServer(const Options& options);
+  ~HttpServer();  // Stops and joins if still running.
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Registers an exact-match route. Call before Start(); the route table is
+  // immutable once the acceptor runs. A path registered under any method
+  // answers other methods with 405; unknown paths answer 404.
+  void Route(std::string method, std::string path, Handler handler);
+
+  // Binds, listens and starts the acceptor + workers. Returns false (with a
+  // human-readable reason in *error) if the socket can't be bound.
+  bool Start(std::string* error);
+
+  // Stops accepting, drains queued connections, joins every thread.
+  // Idempotent; called by the destructor.
+  void Stop();
+
+  // The bound port (resolves port 0 to the kernel-assigned ephemeral port).
+  // Valid after a successful Start().
+  int port() const { return port_; }
+
+  // Serving totals (test introspection; relaxed).
+  uint64_t requests_served() const { return served_.load(std::memory_order_relaxed); }
+  uint64_t requests_rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(int fd);
+
+  Options options_;
+  std::map<std::string, std::map<std::string, Handler>> routes_;  // path → method → handler.
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::unique_ptr<BoundedQueue<int>> connections_;  // Accepted fds → workers.
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace pevm::ops
+
+#endif  // SRC_OPS_HTTP_SERVER_H_

@@ -158,6 +158,11 @@ class QueryEngine {
   // Live snapshot of the totals (threads may still be serving).
   QueryStats stats() const;
 
+  // Request-queue observability for the ops plane's /healthz: current depth
+  // and the high-water mark since construction. Safe from any thread.
+  size_t queue_depth() const { return queue_->depth(); }
+  size_t queue_high_water() const { return queue_->max_depth(); }
+
  private:
   struct Job {
     QueryRequest request;

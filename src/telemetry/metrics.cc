@@ -195,6 +195,84 @@ std::string MetricsJson() {
   return out;
 }
 
+namespace {
+
+// Prometheus metric-name charset is [a-zA-Z0-9_:]; the registry's dotted
+// names ("chain.exec_block_ns") become underscored ("chain_exec_block_ns").
+void AppendPromName(std::string& out, const std::string& name) {
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+              c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+}
+
+}  // namespace
+
+std::string MetricsPrometheus() {
+  MetricsRegistry& registry = GlobalMetrics();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::string out;
+  out.reserve(1u << 14);
+  char buf[128];
+  for (const auto& [name, counter] : registry.counters) {
+    out += "# TYPE ";
+    AppendPromName(out, name);
+    out += " counter\n";
+    AppendPromName(out, name);
+    std::snprintf(buf, sizeof(buf), " %llu\n", static_cast<unsigned long long>(counter->value()));
+    out += buf;
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    out += "# TYPE ";
+    AppendPromName(out, name);
+    out += " gauge\n";
+    AppendPromName(out, name);
+    std::snprintf(buf, sizeof(buf), " %lld\n", static_cast<long long>(gauge->value()));
+    out += buf;
+  }
+  for (const auto& [name, histogram] : registry.histograms) {
+    // Snapshot the buckets first, then derive _count from the same snapshot:
+    // the le="+Inf" row MUST equal _count within one scrape even while
+    // observers keep appending (the live count_ may already be ahead).
+    uint64_t counts[Histogram::kBuckets];
+    uint64_t total = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      counts[i] = histogram->bucket_count(i);
+      total += counts[i];
+    }
+    out += "# TYPE ";
+    AppendPromName(out, name);
+    out += " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += counts[i];
+      // Bucket 64's upper bound is UINT64_MAX; it is represented by the
+      // mandatory +Inf row below instead of a 20-digit le value.
+      if (counts[i] == 0 || i >= 64) {
+        continue;
+      }
+      AppendPromName(out, name);
+      std::snprintf(buf, sizeof(buf), "_bucket{le=\"%llu\"} %llu\n",
+                    static_cast<unsigned long long>(Histogram::BucketHi(i)),
+                    static_cast<unsigned long long>(cumulative));
+      out += buf;
+    }
+    AppendPromName(out, name);
+    std::snprintf(buf, sizeof(buf), "_bucket{le=\"+Inf\"} %llu\n",
+                  static_cast<unsigned long long>(total));
+    out += buf;
+    AppendPromName(out, name);
+    std::snprintf(buf, sizeof(buf), "_sum %llu\n",
+                  static_cast<unsigned long long>(histogram->sum()));
+    out += buf;
+    AppendPromName(out, name);
+    std::snprintf(buf, sizeof(buf), "_count %llu\n", static_cast<unsigned long long>(total));
+    out += buf;
+  }
+  return out;
+}
+
 bool WriteMetricsJson(const std::string& path) {
   std::string json = MetricsJson();
   FILE* f = std::fopen(path.c_str(), "w");

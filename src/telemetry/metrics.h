@@ -82,6 +82,18 @@ Histogram& GetHistogram(std::string_view name);
 std::string MetricsJson();
 bool WriteMetricsJson(const std::string& path);
 
+// Prometheus text exposition format (the ops server's GET /metrics body):
+// counters as `# TYPE x counter` + value rows, gauges likewise, histograms as
+// the standard cumulative `x_bucket{le="..."}` series (one row per non-empty
+// power-of-two bucket plus the mandatory le="+Inf" row, which equals x_count)
+// with `x_sum` / `x_count`. Registry names are sanitized for the Prometheus
+// charset: every byte outside [a-zA-Z0-9_:] (the registry's '.' separators
+// in particular) becomes '_'. Safe to call while instrumentation threads keep
+// writing — every value is a relaxed atomic read, and each histogram's bucket
+// array is snapshotted before rendering so the cumulative series is monotone
+// within one scrape.
+std::string MetricsPrometheus();
+
 // Zeroes every registered metric (registrations survive). Test hygiene.
 void ClearMetrics();
 

@@ -1,5 +1,7 @@
 #include "src/telemetry/trace.h"
 
+#include "src/telemetry/metrics.h"
+
 #include <bit>
 #include <chrono>
 #include <cstdio>
@@ -169,6 +171,46 @@ size_t RegisteredThreads() {
   Registry& registry = GlobalRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
   return registry.buffers.size();
+}
+
+std::vector<RingStats> TraceRingStats() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    buffers = registry.buffers;
+  }
+  std::vector<RingStats> out;
+  out.reserve(buffers.size());
+  for (const auto& buffer : buffers) {
+    RingStats stats;
+    stats.tid = buffer->tid;
+    {
+      std::lock_guard<std::mutex> lock(buffer->name_mu);
+      stats.thread_name = buffer->name;
+    }
+    uint64_t head = buffer->head.load(std::memory_order_relaxed);
+    stats.events_pushed = head;
+    stats.capacity = buffer->capacity;
+    stats.dropped = head > buffer->capacity ? head - buffer->capacity : 0;
+    stats.occupancy = head > buffer->capacity ? buffer->capacity : static_cast<size_t>(head);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+void UpdateTraceGauges() {
+  std::vector<RingStats> rings = TraceRingStats();
+  uint64_t dropped = 0;
+  for (const RingStats& ring : rings) {
+    dropped += ring.dropped;
+    char name[64];
+    std::snprintf(name, sizeof(name), "trace.ring_occupancy.t%llu",
+                  static_cast<unsigned long long>(ring.tid));
+    GetGauge(name).Set(static_cast<int64_t>(ring.occupancy));
+  }
+  GetGauge("trace.dropped_events").Set(static_cast<int64_t>(dropped));
+  GetGauge("trace.ring_threads").Set(static_cast<int64_t>(rings.size()));
 }
 
 std::string ChromeTraceJson() {

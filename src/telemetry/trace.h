@@ -29,8 +29,10 @@
 #define SRC_TELEMETRY_TRACE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace pevm::telemetry {
 
@@ -129,6 +131,27 @@ uint64_t DroppedEvents();
 
 // Registered thread-buffer count (test introspection).
 size_t RegisteredThreads();
+
+// Live per-thread ring introspection. Sampled while writers keep pushing:
+// counts are relaxed atomic reads, so a sample can be one event stale but
+// never torn. Ordered by registration (tid ascending).
+struct RingStats {
+  uint64_t tid = 0;
+  std::string thread_name;
+  uint64_t events_pushed = 0;  // Lifetime pushes (monotone per thread).
+  uint64_t dropped = 0;        // Overwritten by ring wraparound.
+  size_t occupancy = 0;        // Events currently resident (≤ capacity).
+  size_t capacity = 0;
+};
+std::vector<RingStats> TraceRingStats();
+
+// Publishes the recorder's own health into the metrics registry:
+// "trace.dropped_events" and "trace.ring_threads" plus a per-thread
+// "trace.ring_occupancy.t<tid>" gauge — so ring-buffer undersizing shows up
+// on a live /metrics scrape instead of only in the post-run JSON export. The
+// ops server calls this on every scrape; benches call it once before the
+// --metrics= snapshot.
+void UpdateTraceGauges();
 
 }  // namespace pevm::telemetry
 

@@ -1,0 +1,768 @@
+// Ops-plane battery (DESIGN.md §4.8): the embedded HTTP admin endpoint, the
+// Prometheus exposition, the always-on flight recorder, and the stall
+// watchdog — plus the inertness suite proving the whole plane is invisible in
+// results: per-block roots and every deterministic BlockReport field are
+// bit-identical with the ops plane off versus hammered with concurrent
+// scrapes, at every executor width.
+//
+// Suite names (HttpServerTest / PrometheusTest / FlightRecorderTest /
+// WatchdogTest / OpsPlaneTest / OpsInertnessTest) are load-bearing: CI and
+// scripts/check_tsan.sh select tests by them.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/chain/chain_runner.h"
+#include "src/ops/flight_recorder.h"
+#include "src/ops/http_server.h"
+#include "src/ops/ops_server.h"
+#include "src/ops/watchdog.h"
+#include "src/telemetry/metrics.h"
+#include "src/telemetry/trace.h"
+#include "src/workload/block_gen.h"
+
+namespace pevm {
+namespace {
+
+using ops::BlockAnatomy;
+using ops::FlightRecorder;
+using ops::HttpRequest;
+using ops::HttpResponse;
+using ops::HttpServer;
+using ops::PipelineProgress;
+using ops::StageProgress;
+using ops::StallDiagnosis;
+using ops::StallWatchdog;
+using ops::WatchdogOptions;
+
+// --- Raw-socket HTTP client (the tests must not trust the server's own
+// parsing, so they speak bytes). One request per connection, mirroring the
+// server's Connection: close contract.
+
+struct FetchResult {
+  bool ok = false;      // Connected and got a status line.
+  int status = 0;
+  std::string headers;  // Raw header block.
+  std::string body;
+};
+
+FetchResult FetchRaw(int port, const std::string& request) {
+  FetchResult result;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return result;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return result;
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return result;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  size_t line_end = response.find("\r\n");
+  if (line_end == std::string::npos || response.rfind("HTTP/1.", 0) != 0) {
+    return result;
+  }
+  result.status = std::atoi(response.c_str() + sizeof("HTTP/1.1") - 1);
+  size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return result;
+  }
+  result.headers = response.substr(0, header_end);
+  result.body = response.substr(header_end + 4);
+  result.ok = true;
+  return result;
+}
+
+FetchResult Get(int port, const std::string& path) {
+  return FetchRaw(port, "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n");
+}
+
+FetchResult Post(int port, const std::string& path, const std::string& body) {
+  return FetchRaw(port, "POST " + path + " HTTP/1.1\r\nHost: localhost\r\nContent-Length: " +
+                            std::to_string(body.size()) + "\r\n\r\n" + body);
+}
+
+// Extracts the first unsigned integer following `key` in a JSON blob; -1 if
+// absent. Enough structure awareness for the /healthz assertions without a
+// JSON parser dependency.
+long long JsonNumber(const std::string& json, const std::string& key) {
+  size_t at = json.find("\"" + key + "\": ");
+  if (at == std::string::npos) {
+    return -1;
+  }
+  at += key.size() + 4;
+  long long value = 0;
+  bool any = false;
+  while (at < json.size() && json[at] >= '0' && json[at] <= '9') {
+    value = value * 10 + (json[at] - '0');
+    ++at;
+    any = true;
+  }
+  return any ? value : -1;
+}
+
+// --- HTTP server: routing, methods, bodies. --------------------------------
+
+TEST(HttpServerTest, RoutesMethodsAndBodies) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options);
+  server.Route("GET", "/ping", [](const HttpRequest&) {
+    HttpResponse response;
+    response.body = "pong";
+    return response;
+  });
+  server.Route("POST", "/echo", [](const HttpRequest& request) {
+    HttpResponse response;
+    response.body = request.body;
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  FetchResult ping = Get(server.port(), "/ping");
+  ASSERT_TRUE(ping.ok);
+  EXPECT_EQ(ping.status, 200);
+  EXPECT_EQ(ping.body, "pong");
+
+  // Unknown path → 404; known path, wrong method → 405.
+  EXPECT_EQ(Get(server.port(), "/nope").status, 404);
+  EXPECT_EQ(Post(server.port(), "/ping", "x").status, 405);
+
+  // POST body round-trips (including binary-ish bytes).
+  std::string payload = "line1\nline2\x01\x02";
+  FetchResult echo = Post(server.port(), "/echo", payload);
+  ASSERT_TRUE(echo.ok);
+  EXPECT_EQ(echo.status, 200);
+  EXPECT_EQ(echo.body, payload);
+
+  // Routed requests count as served; the 404/405 pair counts as rejected.
+  EXPECT_GE(server.requests_served(), 2u);
+  EXPECT_GE(server.requests_rejected(), 2u);
+  server.Stop();
+  server.Stop();  // Idempotent.
+}
+
+TEST(HttpServerTest, MalformedRequestRejected) {
+  HttpServer::Options options;
+  options.port = 0;
+  HttpServer server(options);
+  server.Route("GET", "/ping", [](const HttpRequest&) { return HttpResponse{}; });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  FetchResult bad = FetchRaw(server.port(), "NOT-HTTP\r\n\r\n");
+  // Either a 400 response or a dropped connection is acceptable; what is not
+  // acceptable is a crash or a hang.
+  if (bad.ok) {
+    EXPECT_EQ(bad.status, 400);
+  }
+  server.Stop();
+}
+
+// --- Prometheus exposition. ------------------------------------------------
+
+TEST(PrometheusTest, CountersGaugesHistogramsRender) {
+  telemetry::ClearMetrics();
+  telemetry::GetCounter("opstest.counter").Add(7);
+  telemetry::GetGauge("opstest.gauge").Set(-3);
+  auto& hist = telemetry::GetHistogram("opstest.hist");
+  hist.Observe(10);
+  hist.Observe(1'000);
+  hist.Observe(1'000'000);
+
+  std::string text = telemetry::MetricsPrometheus();
+  // Dots sanitize to underscores (Prometheus charset).
+  EXPECT_NE(text.find("# TYPE opstest_counter counter\nopstest_counter 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE opstest_gauge gauge\nopstest_gauge -3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE opstest_hist histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("opstest_hist_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("opstest_hist_sum 1001010\n"), std::string::npos);
+  // The +Inf bucket is cumulative and equals _count.
+  EXPECT_NE(text.find("opstest_hist_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+
+  // Cumulative bucket counts are non-decreasing in le order.
+  uint64_t prev = 0;
+  size_t at = 0;
+  int buckets = 0;
+  while ((at = text.find("opstest_hist_bucket{le=\"", at)) != std::string::npos) {
+    size_t close = text.find("} ", at);
+    ASSERT_NE(close, std::string::npos);
+    uint64_t count = std::strtoull(text.c_str() + close + 2, nullptr, 10);
+    EXPECT_GE(count, prev) << text;
+    prev = count;
+    ++buckets;
+    at = close;
+  }
+  EXPECT_GE(buckets, 3);  // The three distinct magnitudes plus +Inf overlap.
+  telemetry::ClearMetrics();
+}
+
+TEST(PrometheusTest, ScrapeEndpointMatchesRegistry) {
+  telemetry::ClearMetrics();
+  telemetry::GetCounter("opstest.scrape").Add(42);
+
+  FlightRecorder recorder(4);
+  ops::OpsServerOptions options;
+  options.port = 0;
+  ops::OpsServer server(options, recorder, [] {
+    PipelineProgress progress;
+    progress.running = true;
+    return progress;
+  });
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  FetchResult scrape = Get(server.port(), "/metrics");
+  ASSERT_TRUE(scrape.ok);
+  EXPECT_EQ(scrape.status, 200);
+  EXPECT_NE(scrape.headers.find("text/plain"), std::string::npos);
+  EXPECT_NE(scrape.body.find("opstest_scrape 42\n"), std::string::npos);
+  // The scrape refreshed the trace-ring gauges.
+  EXPECT_NE(scrape.body.find("trace_ring_threads"), std::string::npos);
+  EXPECT_EQ(server.scrapes(), 1u);
+  server.Stop();
+  telemetry::ClearMetrics();
+}
+
+// --- Flight recorder: ring semantics. --------------------------------------
+
+TEST(FlightRecorderTest, WrapsKeepingNewestOldestFirst) {
+  FlightRecorder recorder(4);
+  EXPECT_EQ(recorder.capacity(), 4u);
+  EXPECT_TRUE(recorder.Snapshot().empty());
+
+  for (uint64_t i = 1; i <= 10; ++i) {
+    BlockAnatomy anatomy;
+    anatomy.block_index = i;
+    anatomy.transactions = i * 10;
+    recorder.Record(anatomy);
+  }
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  std::vector<BlockAnatomy> resident = recorder.Snapshot();
+  ASSERT_EQ(resident.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(resident[i].block_index, 7 + i) << "oldest-first order";
+    EXPECT_EQ(resident[i].transactions, (7 + i) * 10);
+  }
+}
+
+TEST(FlightRecorderTest, DurabilityStampIsBestEffort) {
+  FlightRecorder recorder(4);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    BlockAnatomy anatomy;
+    anatomy.block_index = i;
+    recorder.Record(anatomy);
+  }
+  // Resident block: stamped. Evicted block (1): silently skipped.
+  recorder.StampDurability(5, /*queue_to_durable_ns=*/111, /*persist_ns=*/222,
+                           /*commit_batch=*/3);
+  recorder.StampDurability(1, 999, 999, 9);
+  std::vector<BlockAnatomy> resident = recorder.Snapshot();
+  ASSERT_EQ(resident.size(), 4u);
+  EXPECT_EQ(resident[2].block_index, 5u);
+  EXPECT_EQ(resident[2].queue_to_durable_ns, 111u);
+  EXPECT_EQ(resident[2].commit_persist_ns, 222u);
+  EXPECT_EQ(resident[2].commit_batch, 3u);
+  EXPECT_EQ(resident[0].queue_to_durable_ns, 0u);  // Block 3, never stamped.
+}
+
+TEST(FlightRecorderTest, JsonDumpCarriesEveryResidentBlock) {
+  FlightRecorder recorder(8);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    BlockAnatomy anatomy;
+    anatomy.block_index = i;
+    anatomy.conflicts = static_cast<int>(i);
+    recorder.Record(anatomy);
+  }
+  std::string json = ops::FlightRecorderJson(recorder);
+  EXPECT_NE(json.find("\"total_recorded\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"block\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"block\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"conflicts\": 2"), std::string::npos);
+}
+
+// --- Watchdog: idle vs busy vs stalled. ------------------------------------
+
+PipelineProgress MakeProgress(uint64_t submitted, uint64_t committed,
+                              std::vector<StageProgress> stages) {
+  PipelineProgress progress;
+  progress.running = true;
+  progress.blocks_submitted = submitted;
+  progress.blocks_committed = committed;
+  progress.stages = std::move(stages);
+  return progress;
+}
+
+StageProgress MakeStage(const char* name, uint64_t entered, uint64_t exited,
+                        size_t queue_depth = 0) {
+  StageProgress stage;
+  stage.name = name;
+  stage.active = true;
+  stage.entered = entered;
+  stage.exited = exited;
+  stage.queue_depth = queue_depth;
+  return stage;
+}
+
+TEST(WatchdogTest, WedgedStageFiresOnceNamingDeepestStuckStage) {
+  // Frozen sample: exec holds a block (entered 3, exited 2) with input
+  // backed up; everything upstream is done. The diagnosis must say "exec".
+  PipelineProgress wedged = MakeProgress(
+      5, 2,
+      {MakeStage("warm", 5, 5), MakeStage("spec", 5, 5), MakeStage("exec", 3, 2, 2),
+       MakeStage("commit", 2, 2)});
+  ASSERT_TRUE(wedged.WorkInFlight());
+
+  std::atomic<int> fired{0};
+  std::string stage_named;
+  WatchdogOptions options;
+  options.deadline_ms = 80;
+  options.poll_ms = 10;
+  options.log_to_stderr = false;
+  options.on_stall = [&](const StallDiagnosis& diagnosis) {
+    stage_named = diagnosis.stage;
+    fired.fetch_add(1);
+  };
+  FlightRecorder recorder(4);
+  BlockAnatomy anatomy;
+  anatomy.block_index = 2;
+  recorder.Record(anatomy);
+  StallWatchdog watchdog([&] { return wedged; }, &recorder, options);
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(fired.load(), 1);
+  EXPECT_EQ(stage_named, "exec");
+  std::optional<StallDiagnosis> last_opt = watchdog.last_diagnosis();
+  ASSERT_TRUE(last_opt.has_value());
+  const StallDiagnosis& last = *last_opt;
+  EXPECT_GE(last.stalled_for_ms, options.deadline_ms);
+  ASSERT_EQ(last.recent_blocks.size(), 1u);
+  EXPECT_EQ(last.recent_blocks[0].block_index, 2u);
+  std::string rendered = last.Render();
+  EXPECT_NE(rendered.find("exec"), std::string::npos);
+
+  // Fire-once: the same frozen episode must not re-fire on later polls.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, StuckQueueWithNoStageMidBlockBlamesTheConsumer) {
+  // No stage holds a block, but exec's input queue is non-empty and frozen:
+  // the consumer is not picking work up.
+  PipelineProgress wedged = MakeProgress(
+      4, 2,
+      {MakeStage("warm", 4, 4), MakeStage("exec", 2, 2, 2), MakeStage("commit", 2, 2)});
+  std::atomic<int> fired{0};
+  std::string stage_named;
+  WatchdogOptions options;
+  options.deadline_ms = 60;
+  options.poll_ms = 10;
+  options.log_to_stderr = false;
+  options.on_stall = [&](const StallDiagnosis& diagnosis) {
+    stage_named = diagnosis.stage;
+    fired.fetch_add(1);
+  };
+  StallWatchdog watchdog([&] { return wedged; }, nullptr, options);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(fired.load(), 1);
+  EXPECT_EQ(stage_named, "exec");
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, BusyPipelineStaysSilent) {
+  // Fingerprint changes every sample: never a stall, however long we watch.
+  std::atomic<uint64_t> tick{0};
+  WatchdogOptions options;
+  options.deadline_ms = 50;
+  options.poll_ms = 10;
+  options.log_to_stderr = false;
+  StallWatchdog watchdog(
+      [&] {
+        uint64_t t = tick.fetch_add(1);
+        return MakeProgress(t + 1, t, {MakeStage("exec", t + 1, t)});
+      },
+      nullptr, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, IdlePipelineStaysSilent) {
+  // Frozen counters but no work in flight — an idle node is healthy.
+  PipelineProgress idle =
+      MakeProgress(3, 3, {MakeStage("warm", 3, 3), MakeStage("exec", 3, 3),
+                          MakeStage("commit", 3, 3)});
+  ASSERT_FALSE(idle.WorkInFlight());
+  WatchdogOptions options;
+  options.deadline_ms = 40;
+  options.poll_ms = 10;
+  options.log_to_stderr = false;
+  StallWatchdog watchdog([&] { return idle; }, nullptr, options);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(watchdog.stalls_detected(), 0u);
+  watchdog.Stop();
+}
+
+TEST(WatchdogTest, ReArmsAfterProgressResumes) {
+  // Wedge → fire → progress → wedge again → second fire.
+  std::atomic<int> phase{0};
+  WatchdogOptions options;
+  options.deadline_ms = 50;
+  options.poll_ms = 10;
+  options.log_to_stderr = false;
+  StallWatchdog watchdog(
+      [&] {
+        int p = phase.load();
+        // Phase 0/2: frozen wedge (distinct fingerprints so phase 2 is a new
+        // episode). Phase 1: brief progress burst.
+        if (p == 1) {
+          static std::atomic<uint64_t> burst{100};
+          uint64_t t = burst.fetch_add(1);
+          return MakeProgress(t + 1, t, {MakeStage("exec", t + 1, t)});
+        }
+        uint64_t base = p == 0 ? 1 : 50;
+        return MakeProgress(base + 1, base, {MakeStage("exec", base + 1, base)});
+      },
+      nullptr, options);
+  auto wait_for_stalls = [&](uint64_t want) {
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (watchdog.stalls_detected() < want &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return watchdog.stalls_detected();
+  };
+  ASSERT_GE(wait_for_stalls(1), 1u);
+  phase.store(1);  // Progress: re-arm.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  phase.store(2);  // Second wedge.
+  EXPECT_GE(wait_for_stalls(2), 2u);
+  watchdog.Stop();
+}
+
+// --- Live chain runner: endpoints mid-run, watchdog on a real wedge. -------
+
+WorkloadConfig OpsConfig(uint64_t seed, int txs = 48, int users = 300) {
+  WorkloadConfig config;
+  config.seed = seed;
+  config.transactions_per_block = txs;
+  config.users = users;
+  config.tokens = 6;
+  config.pools = 3;
+  config.funds = 2;
+  return config;
+}
+
+TEST(OpsPlaneTest, EndpointsAnswerMidRunAndCountersAreMonotone) {
+  WorkloadGenerator gen(OpsConfig(81'000));
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks;
+  for (int i = 0; i < 4; ++i) {
+    blocks.push_back(gen.MakeBlock());
+  }
+
+  ChainOptions options;
+  options.ops_server.port = 0;
+  options.exec.os_threads = 4;
+  options.query_tier = true;
+  // Real (slept) storage latency stretches the run so mid-run scrapes land
+  // while blocks are genuinely in flight.
+  options.exec.storage.cold_read_ns = 100'000;
+  ChainRunner runner(options, genesis);
+  ASSERT_NE(runner.ops_server(), nullptr);
+  int port = runner.ops_server()->port();
+  ASSERT_GT(port, 0);
+
+  std::thread producer([&] {
+    for (const Block& block : blocks) {
+      ASSERT_TRUE(runner.Submit(block));
+    }
+  });
+
+  // Scrape while the pipeline runs; committed counter must be monotone.
+  long long last_committed = 0;
+  int scrapes_ok = 0;
+  for (int i = 0; i < 20; ++i) {
+    FetchResult health = Get(port, "/healthz");
+    if (health.ok && health.status == 200) {
+      ++scrapes_ok;
+      EXPECT_NE(health.body.find("\"status\": \"ok\""), std::string::npos);
+      EXPECT_NE(health.body.find("\"name\": \"exec\""), std::string::npos);
+      long long committed = JsonNumber(health.body, "blocks_committed");
+      ASSERT_GE(committed, last_committed) << "committed counter went backwards";
+      last_committed = committed;
+    }
+    FetchResult metrics = Get(port, "/metrics");
+    if (metrics.ok) {
+      EXPECT_EQ(metrics.status, 200);
+      EXPECT_NE(metrics.body.find("# TYPE"), std::string::npos);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  producer.join();
+  ChainReport report = runner.Finish();
+  EXPECT_EQ(report.blocks_committed, blocks.size());
+  EXPECT_GT(scrapes_ok, 0) << "no scrape ever landed (vacuous test)";
+
+  // Post-run: the ops plane outlives Finish; the recorder holds every block.
+  FetchResult dump = Get(port, "/debug/blocks");
+  ASSERT_TRUE(dump.ok);
+  EXPECT_EQ(dump.status, 200);
+  for (size_t b = 1; b <= blocks.size(); ++b) {
+    EXPECT_NE(dump.body.find("\"block\": " + std::to_string(b)), std::string::npos)
+        << dump.body;
+  }
+  // Healthz reflects quiescence (running until destruction, all committed).
+  FetchResult final_health = Get(port, "/healthz");
+  ASSERT_TRUE(final_health.ok);
+  EXPECT_EQ(JsonNumber(final_health.body, "blocks_committed"),
+            static_cast<long long>(blocks.size()));
+
+  // POST /debug/trace exports to the requested path.
+  std::string trace_path =
+      (std::filesystem::temp_directory_path() / "ops_test_trace.json").string();
+  std::remove(trace_path.c_str());
+  FetchResult trace = Post(port, "/debug/trace", trace_path + "\n");
+  ASSERT_TRUE(trace.ok);
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_TRUE(std::filesystem::exists(trace_path)) << trace.body;
+  std::remove(trace_path.c_str());
+}
+
+TEST(OpsPlaneTest, FlightRecorderAnatomyIsCoherent) {
+  WorkloadGenerator gen(OpsConfig(82'000));
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(gen.MakeBlock());
+  }
+  ChainOptions options;
+  options.exec.os_threads = 2;
+  ChainRunner runner(options, genesis);  // No HTTP, no watchdog: recorder still on.
+  ASSERT_EQ(runner.ops_server(), nullptr);
+  for (const Block& block : blocks) {
+    ASSERT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+
+  std::vector<BlockAnatomy> anatomy = runner.flight_recorder().Snapshot();
+  ASSERT_EQ(anatomy.size(), blocks.size());
+  for (size_t b = 0; b < anatomy.size(); ++b) {
+    const BlockAnatomy& a = anatomy[b];
+    EXPECT_EQ(a.block_index, b + 1);
+    EXPECT_EQ(a.transactions, blocks[b].transactions.size());
+    EXPECT_EQ(a.root, report.roots[b]);
+    const BlockReport& r = report.block_reports[b];
+    EXPECT_EQ(a.conflicts, r.conflicts);
+    EXPECT_EQ(a.redo_success, r.redo_success);
+    EXPECT_EQ(a.oplog_entries, r.oplog_entries);
+    EXPECT_EQ(a.instructions, r.instructions);
+    EXPECT_GT(a.exec_busy_ns, 0u);
+    EXPECT_GT(a.commit_apply_ns, 0u);
+    EXPECT_GT(a.queue_to_durable_ns, 0u);
+    EXPECT_GT(a.commit_batch, 0u);  // Every batch sealed by Finish.
+    EXPECT_GT(a.diff_entries, 0u);
+  }
+}
+
+TEST(OpsPlaneTest, WatchdogNamesWedgedStageOnRealRunner) {
+  // A handful of transactions against 20ms (really slept) cold reads wedges
+  // the exec stage for seconds; the watchdog's 150ms deadline fires first and
+  // must blame "exec".
+  WorkloadGenerator gen(OpsConfig(83'000, /*txs=*/6, /*users=*/50));
+  WorldState genesis = gen.MakeGenesis();
+  Block block = gen.MakeBlock();
+
+  std::atomic<int> fired{0};
+  std::string stage_named;
+  ChainOptions options;
+  options.exec.os_threads = 1;
+  options.exec.storage.cold_read_ns = 20'000'000;
+  options.ops_server.watchdog = true;
+  options.ops_server.watchdog_deadline_ms = 150;
+  options.ops_server.watchdog_poll_ms = 20;
+  options.ops_server.watchdog_log_to_stderr = false;
+  options.ops_server.on_stall = [&](const StallDiagnosis& diagnosis) {
+    // Write before publishing: the main thread reads stage_named as soon as
+    // it observes fired != 0. on_stall only ever runs on the watchdog thread,
+    // so the unsynchronized load of fired here is single-writer-safe.
+    if (fired.load() == 0) {
+      stage_named = diagnosis.stage;
+    }
+    fired.fetch_add(1);
+  };
+  ChainRunner runner(options, genesis);
+  ASSERT_NE(runner.ops_server(), nullptr);
+  ASSERT_NE(runner.ops_server()->watchdog(), nullptr);
+  ASSERT_TRUE(runner.Submit(block));
+
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (fired.load() == 0 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(fired.load(), 1) << "watchdog never fired on a wedged pipeline";
+  EXPECT_EQ(stage_named, "exec");
+  ChainReport report = runner.Finish();  // The block eventually completes.
+  EXPECT_EQ(report.blocks_committed, 1u);
+}
+
+TEST(OpsPlaneTest, WatchdogSilentOnHealthyRunner) {
+  WorkloadGenerator gen(OpsConfig(84'000));
+  WorldState genesis = gen.MakeGenesis();
+  ChainOptions options;
+  options.exec.os_threads = 4;
+  options.ops_server.watchdog = true;
+  options.ops_server.watchdog_deadline_ms = 10'000;  // Generous: never hit.
+  options.ops_server.watchdog_poll_ms = 20;
+  options.ops_server.watchdog_log_to_stderr = false;
+  ChainRunner runner(options, genesis);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(runner.Submit(gen.MakeBlock()));
+  }
+  ChainReport report = runner.Finish();
+  EXPECT_EQ(report.blocks_committed, 3u);
+  ASSERT_NE(runner.ops_server()->watchdog(), nullptr);
+  EXPECT_EQ(runner.ops_server()->watchdog()->stalls_detected(), 0u);
+}
+
+// --- Inertness: ops plane off vs hammered is invisible in results. ---------
+
+struct ChainRunResult {
+  std::vector<std::string> roots;
+  std::vector<BlockReport> reports;
+  uint64_t scrapes = 0;
+};
+
+ChainRunResult RunChain(const WorldState& genesis, const std::vector<Block>& blocks,
+                        int os_threads, bool hammer_ops) {
+  ChainOptions options;
+  options.exec.os_threads = os_threads;
+  options.exec.prefetch_depth = 0;
+  if (hammer_ops) {
+    options.ops_server.port = 0;
+  }
+  ChainRunner runner(options, genesis);
+
+  std::atomic<bool> stop_hammer{false};
+  std::thread hammer;
+  if (hammer_ops) {
+    int port = runner.ops_server()->port();
+    hammer = std::thread([port, &stop_hammer] {
+      int which = 0;
+      while (!stop_hammer.load(std::memory_order_relaxed)) {
+        switch (which++ % 3) {
+          case 0:
+            Get(port, "/metrics");
+            break;
+          case 1:
+            Get(port, "/healthz");
+            break;
+          default:
+            Get(port, "/debug/blocks");
+            break;
+        }
+      }
+    });
+  }
+  for (const Block& block : blocks) {
+    EXPECT_TRUE(runner.Submit(block));
+  }
+  ChainReport report = runner.Finish();
+  ChainRunResult result;
+  if (hammer_ops) {
+    // Keep hammering past Finish too (the plane outlives the pipeline), then
+    // record the scrape count as the vacuity guard.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop_hammer.store(true);
+    hammer.join();
+    result.scrapes = runner.ops_server()->scrapes();
+  }
+  for (const Hash256& root : report.roots) {
+    result.roots.push_back(HexEncode(root));
+  }
+  result.reports = report.block_reports;
+  return result;
+}
+
+// Deterministic-field comparison, mirroring telemetry_test's contract.
+void ExpectSameDeterministicFields(const ChainRunResult& off, const ChainRunResult& on,
+                                   int os_threads) {
+  SCOPED_TRACE(testing::Message() << "os_threads=" << os_threads);
+  ASSERT_EQ(off.roots.size(), on.roots.size());
+  for (size_t b = 0; b < off.roots.size(); ++b) {
+    EXPECT_EQ(off.roots[b], on.roots[b]) << "block " << b;
+  }
+  ASSERT_EQ(off.reports.size(), on.reports.size());
+  for (size_t b = 0; b < off.reports.size(); ++b) {
+    const BlockReport& x = off.reports[b];
+    const BlockReport& y = on.reports[b];
+    EXPECT_EQ(x.makespan_ns, y.makespan_ns);
+    EXPECT_EQ(x.conflicts, y.conflicts);
+    EXPECT_EQ(x.redo_success, y.redo_success);
+    EXPECT_EQ(x.redo_fail, y.redo_fail);
+    EXPECT_EQ(x.full_reexecutions, y.full_reexecutions);
+    EXPECT_EQ(x.oplog_entries, y.oplog_entries);
+    EXPECT_EQ(x.instructions, y.instructions);
+    EXPECT_EQ(x.conflict_keys, y.conflict_keys);
+    EXPECT_EQ(x.receipts, y.receipts);
+  }
+}
+
+TEST(OpsInertnessTest, HammeredOpsPlaneIsInvisibleInResults) {
+  WorkloadGenerator gen(OpsConfig(85'000));
+  WorldState genesis = gen.MakeGenesis();
+  std::vector<Block> blocks;
+  for (int i = 0; i < 3; ++i) {
+    blocks.push_back(gen.MakeBlock());
+  }
+  for (int os_threads : {1, 4, 16}) {
+    ChainRunResult off = RunChain(genesis, blocks, os_threads, /*hammer_ops=*/false);
+    ChainRunResult hammered = RunChain(genesis, blocks, os_threads, /*hammer_ops=*/true);
+    ASSERT_GT(hammered.scrapes, 0u) << "hammer thread never landed a scrape (vacuous)";
+    ExpectSameDeterministicFields(off, hammered, os_threads);
+  }
+}
+
+}  // namespace
+}  // namespace pevm
